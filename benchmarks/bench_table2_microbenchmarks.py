@@ -1,0 +1,68 @@
+"""Table 2 (RQ1): volume estimation accuracy on the geometric microbenchmarks.
+
+For every solid and every sampling budget the paper reports the average
+estimate and the standard deviation over 30 runs.  The default (CI) mode runs
+3 repetitions at 10^3 and 10^4 samples; setting ``QCORAL_BENCH_FULL=1``
+reproduces the full 30-run sweep up to 10^6 samples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+try:
+    from benchmarks.conftest import FULL_SCALE, repetitions, sample_counts
+except ImportError:  # executed directly: benchmarks/ is sys.path[0]
+    from conftest import FULL_SCALE, repetitions, sample_counts
+from repro.analysis.results import Table
+from repro.analysis.runner import repeat_analysis
+from repro.subjects.solids import all_solids, estimate_volume, solid_by_name
+
+
+def run_solid(solid, samples: int, seed: int):
+    estimate = estimate_volume(solid, samples=samples, seed=seed)
+    return estimate.volume, estimate.std
+
+
+def generate_table() -> Table:
+    budgets = sample_counts()
+    headers = ["analytical"]
+    for budget in budgets:
+        headers.extend([f"est@{budget}", f"σ@{budget}"])
+    table = Table("Table 2 — microbenchmarks (volume estimates)", tuple(headers))
+    for solid in all_solids():
+        cells = [solid.analytical_volume]
+        for budget in budgets:
+            aggregated = repeat_analysis(
+                lambda seed: run_solid(solid, budget, seed), runs=repetitions(), base_seed=100
+            )
+            cells.extend([aggregated.mean_estimate, aggregated.empirical_std])
+        table.add_row(f"{solid.name} [{solid.group}]", *cells)
+    return table
+
+
+class TestTable2Benchmarks:
+    @pytest.mark.parametrize("name", ["Cube", "Sphere", "Torus", "Icosahedron"])
+    def test_solid_estimation(self, benchmark, name):
+        solid = solid_by_name(name)
+        estimate = benchmark(lambda: estimate_volume(solid, samples=2_000, seed=3))
+        assert estimate.relative_error < 0.15
+
+    def test_cube_exactness(self):
+        estimate = estimate_volume(solid_by_name("Cube"), samples=1_000, seed=1)
+        assert estimate.std == 0.0
+        assert estimate.volume == pytest.approx(8.0, abs=1e-9)
+
+    def test_error_shrinks_with_samples(self):
+        solid = solid_by_name("Sphere")
+        coarse = repeat_analysis(lambda seed: run_solid(solid, 1_000, seed), runs=repetitions())
+        fine = repeat_analysis(lambda seed: run_solid(solid, 10_000, seed), runs=repetitions())
+        assert abs(fine.mean_estimate - solid.analytical_volume) <= abs(
+            coarse.mean_estimate - solid.analytical_volume
+        ) + 0.05
+
+
+if __name__ == "__main__":
+    print(generate_table().render())
+    if not FULL_SCALE:
+        print("\n(reduced mode: set QCORAL_BENCH_FULL=1 for the 30-run, 10^6-sample sweep)")

@@ -1,0 +1,39 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark has two modes:
+
+* the default (CI-friendly) mode uses reduced sample counts and repetition
+  counts so that ``pytest benchmarks/ --benchmark-only`` completes in minutes;
+* setting the environment variable ``QCORAL_BENCH_FULL=1`` switches to the
+  paper-scale parameters (30 repetitions, up to 10^6 samples, full path
+  counts); expect hours of run time, as in the original evaluation.
+
+Each ``bench_*.py`` module is also directly runnable (``python
+benchmarks/bench_table2_microbenchmarks.py``) and then prints the full table
+in the paper's row format.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: True when the benchmarks should run at paper scale.
+FULL_SCALE = os.environ.get("QCORAL_BENCH_FULL", "0") not in ("0", "", "false", "False")
+
+
+def repetitions(default: int = 3, full: int = 30) -> int:
+    """Number of repeated trials per configuration."""
+    return full if FULL_SCALE else default
+
+
+def sample_counts(default=(1_000, 10_000), full=(1_000, 10_000, 100_000, 1_000_000)):
+    """Sampling budgets to sweep."""
+    return tuple(full) if FULL_SCALE else tuple(default)
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """Expose the scale switch to benchmark tests."""
+    return FULL_SCALE

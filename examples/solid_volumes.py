@@ -1,0 +1,55 @@
+"""Estimating volumes of geometric solids (the paper's RQ1 microbenchmarks).
+
+Each solid is described by a conjunction of (mostly non-linear) constraints
+over a bounding box; its volume is the satisfaction probability under a
+uniform profile multiplied by the bounding-box volume.  The example prints the
+estimate, the analytical value and the error for a selection of Table 2
+subjects at increasing sample counts, showing the ~1/sqrt(n) error decay and
+the exact (zero-variance) result ICP produces for the axis-aligned cube.
+
+Run with:  python examples/solid_volumes.py
+"""
+
+from __future__ import annotations
+
+from repro.subjects.solids import all_solids, estimate_volume, solid_by_name
+
+
+def sweep_sample_counts() -> None:
+    print("=" * 76)
+    print("Error decay with the sampling budget (Sphere and Torus)")
+    print("=" * 76)
+    for name in ("Sphere", "Torus"):
+        solid = solid_by_name(name)
+        print(f"\n{solid.name}  (analytical volume {solid.analytical_volume:.6f})")
+        for samples in (1_000, 10_000, 100_000):
+            estimate = estimate_volume(solid, samples=samples, seed=5)
+            print(
+                f"  {samples:>7d} samples: estimate={estimate.volume:10.6f} "
+                f"std={estimate.std:.4f} relative error={estimate.relative_error:.4%}"
+            )
+
+
+def survey_all_solids() -> None:
+    print()
+    print("=" * 76)
+    print("All thirteen Table 2 subjects at 10,000 samples")
+    print("=" * 76)
+    print(f"{'subject':30s} {'group':22s} {'analytical':>12s} {'estimate':>12s} {'std':>10s}")
+    for solid in all_solids():
+        estimate = estimate_volume(solid, samples=10_000, seed=7)
+        print(
+            f"{solid.name:30s} {solid.group:22s} {solid.analytical_volume:12.4f} "
+            f"{estimate.volume:12.4f} {estimate.std:10.4f}"
+        )
+    print("\nNote: the Cube row has zero standard deviation because interval")
+    print("constraint propagation identifies the solid exactly (paper Section 6.1).")
+
+
+def main() -> None:
+    sweep_sample_counts()
+    survey_all_solids()
+
+
+if __name__ == "__main__":
+    main()

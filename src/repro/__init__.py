@@ -1,0 +1,53 @@
+"""qCORAL reproduction: compositional solution space quantification.
+
+This package reproduces the PLDI 2014 paper "Compositional Solution Space
+Quantification for Probabilistic Software Analysis" (Borges, Filieri,
+d'Amorim, Păsăreanu, Visser).  The public API is re-exported here:
+
+* :class:`UsageProfile` — probabilistic characterisation of the inputs.
+* :func:`parse_constraint_set` / :class:`ConstraintSet` — the constraint
+  language path conditions are written in.
+* :class:`QCoralAnalyzer` / :func:`quantify` — the compositional statistical
+  quantification engine (the paper's contribution).
+* :mod:`repro.symexec` — a small imperative language with a bounded symbolic
+  executor that produces path conditions (the Symbolic PathFinder substitute).
+* :mod:`repro.baselines` — the comparison techniques used in the evaluation.
+"""
+
+from repro.core.estimate import Estimate
+from repro.core.profiles import (
+    PiecewiseUniformDistribution,
+    TruncatedNormalDistribution,
+    UniformDistribution,
+    UsageProfile,
+)
+from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult, quantify
+from repro.lang.ast import Constraint, ConstraintSet, PathCondition
+from repro.lang.parser import (
+    parse_constraint,
+    parse_constraint_set,
+    parse_expression,
+    parse_path_condition,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Estimate",
+    "UsageProfile",
+    "UniformDistribution",
+    "TruncatedNormalDistribution",
+    "PiecewiseUniformDistribution",
+    "QCoralAnalyzer",
+    "QCoralConfig",
+    "QCoralResult",
+    "quantify",
+    "Constraint",
+    "PathCondition",
+    "ConstraintSet",
+    "parse_expression",
+    "parse_constraint",
+    "parse_path_condition",
+    "parse_constraint_set",
+    "__version__",
+]

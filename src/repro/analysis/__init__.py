@@ -1,0 +1,21 @@
+"""End-to-end pipeline, experiment runner, and result formatting."""
+
+from repro.analysis.pipeline import (
+    PipelineResult,
+    ProbabilisticAnalysisPipeline,
+    analyze_program,
+)
+from repro.analysis.results import Table, TableRow, format_interval
+from repro.analysis.runner import RepeatedResult, TrialOutcome, repeat_analysis
+
+__all__ = [
+    "ProbabilisticAnalysisPipeline",
+    "PipelineResult",
+    "analyze_program",
+    "RepeatedResult",
+    "TrialOutcome",
+    "repeat_analysis",
+    "Table",
+    "TableRow",
+    "format_interval",
+]

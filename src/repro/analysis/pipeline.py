@@ -1,0 +1,126 @@
+"""End-to-end probabilistic software analysis pipeline (paper Figure 1).
+
+The pipeline glues the three stages together: parse a program, symbolically
+execute it to collect the path conditions reaching a target event, and hand
+the resulting constraint set (plus the usage profile) to qCORAL.  It also
+quantifies the probability mass of the paths that hit the execution bound,
+which the paper proposes as a confidence measure for the bounded result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.estimate import Estimate
+from repro.core.profiles import UsageProfile
+from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult
+from repro.errors import AnalysisError
+from repro.symexec.ast import Program
+from repro.symexec.parser import parse_program
+from repro.symexec.symbolic import SymbolicExecutionResult, execute_program
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of an end-to-end analysis of one target event."""
+
+    event: str
+    probability: Estimate
+    bounded_probability: Estimate
+    qcoral_result: QCoralResult
+    symbolic_result: SymbolicExecutionResult
+
+    @property
+    def mean(self) -> float:
+        """Estimated probability of the target event."""
+        return self.probability.mean
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the probability estimate."""
+        return self.probability.std
+
+    @property
+    def confidence_note(self) -> str:
+        """Human-readable statement of the bounded-path probability mass."""
+        return (
+            f"probability mass of paths hitting the execution bound: "
+            f"{self.bounded_probability.mean:.6f}"
+        )
+
+
+class ProbabilisticAnalysisPipeline:
+    """Program + usage profile + target event → probability estimate."""
+
+    def __init__(
+        self,
+        program: Union[str, Program],
+        profile: Optional[UsageProfile] = None,
+        config: QCoralConfig = QCoralConfig(),
+        max_depth: int = 50,
+        max_paths: int = 100_000,
+    ) -> None:
+        self._program = parse_program(program) if isinstance(program, str) else program
+        self._profile = profile if profile is not None else UsageProfile.uniform(self._program.input_bounds())
+        self._config = config
+        self._max_depth = max_depth
+        self._max_paths = max_paths
+        self._symbolic_result: Optional[SymbolicExecutionResult] = None
+
+    @property
+    def program(self) -> Program:
+        """The parsed program under analysis."""
+        return self._program
+
+    @property
+    def profile(self) -> UsageProfile:
+        """The usage profile describing the inputs."""
+        return self._profile
+
+    def symbolic_execution(self) -> SymbolicExecutionResult:
+        """Run (and cache) the bounded symbolic execution of the program."""
+        if self._symbolic_result is None:
+            self._symbolic_result = execute_program(
+                self._program, max_depth=self._max_depth, max_paths=self._max_paths
+            )
+        return self._symbolic_result
+
+    def analyze(self, event: str) -> PipelineResult:
+        """Quantify the probability that ``event`` occurs during execution."""
+        symbolic = self.symbolic_execution()
+        if event not in symbolic.events():
+            raise AnalysisError(
+                f"event {event!r} never occurs on any explored path; "
+                f"known events: {list(symbolic.events())}"
+            )
+        constraint_set = symbolic.constraint_set_for(event)
+        analyzer = QCoralAnalyzer(self._profile, self._config)
+        result = analyzer.analyze(constraint_set)
+
+        bounded_set = symbolic.bounded_constraint_set()
+        if bounded_set.path_conditions:
+            bounded_analyzer = QCoralAnalyzer(self._profile, self._config)
+            bounded = bounded_analyzer.analyze(bounded_set).estimate
+        else:
+            bounded = Estimate.zero()
+
+        return PipelineResult(
+            event=event,
+            probability=result.estimate,
+            bounded_probability=bounded,
+            qcoral_result=result,
+            symbolic_result=symbolic,
+        )
+
+
+def analyze_program(
+    source: Union[str, Program],
+    event: str,
+    profile: Optional[UsageProfile] = None,
+    config: QCoralConfig = QCoralConfig(),
+    max_depth: int = 50,
+) -> PipelineResult:
+    """One-shot convenience wrapper around :class:`ProbabilisticAnalysisPipeline`."""
+    pipeline = ProbabilisticAnalysisPipeline(source, profile, config, max_depth=max_depth)
+    return pipeline.analyze(event)

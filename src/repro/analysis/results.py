@@ -1,0 +1,73 @@
+"""Result records and plain-text table rendering for the benchmark harness.
+
+The benchmark scripts print the same rows the paper's tables report; this
+module keeps the formatting in one place so `benchmarks/` and the CLI produce
+identical output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of a rendered table: a label plus formatted cell values."""
+
+    label: str
+    cells: Tuple[str, ...]
+
+
+@dataclass
+class Table:
+    """A plain-text table with a title, column headers, and rows."""
+
+    title: str
+    headers: Tuple[str, ...]
+    rows: List[TableRow] = field(default_factory=list)
+
+    def add_row(self, label: str, *cells: object) -> None:
+        """Append a row, converting every cell to text."""
+        self.rows.append(TableRow(label, tuple(_format_cell(cell) for cell in cells)))
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        label_width = max([len("subject")] + [len(row.label) for row in self.rows])
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row.cells):
+                if index < len(widths):
+                    widths[index] = max(widths[index], len(cell))
+
+        lines = [self.title, "=" * len(self.title)]
+        header_line = "subject".ljust(label_width) + "  " + "  ".join(
+            header.rjust(widths[index]) for index, header in enumerate(self.headers)
+        )
+        lines.append(header_line)
+        lines.append("-" * len(header_line))
+        for row in self.rows:
+            cells = "  ".join(
+                (row.cells[index] if index < len(row.cells) else "").rjust(widths[index])
+                for index in range(len(self.headers))
+            )
+            lines.append(row.label.ljust(label_width) + "  " + cells)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0.0"
+        if abs(value) < 1e-3 or abs(value) >= 1e5:
+            return f"{value:.2e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_interval(lower: float, upper: float) -> str:
+    """Format a probability interval the way the paper prints VolComp bounds."""
+    return f"[{lower:.4f}, {upper:.4f}]"

@@ -1,0 +1,23 @@
+"""Baseline techniques the paper compares against."""
+
+from repro.baselines.numint import (
+    NumericalIntegrationResult,
+    NumIntConfig,
+    integrate_indicator,
+    nintegrate,
+)
+from repro.baselines.plain_mc import BaselineResult, per_path_monte_carlo, plain_monte_carlo
+from repro.baselines.volcomp import VolCompConfig, VolCompResult, bound_probability
+
+__all__ = [
+    "BaselineResult",
+    "plain_monte_carlo",
+    "per_path_monte_carlo",
+    "NumIntConfig",
+    "NumericalIntegrationResult",
+    "integrate_indicator",
+    "nintegrate",
+    "VolCompConfig",
+    "VolCompResult",
+    "bound_probability",
+]

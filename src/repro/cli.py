@@ -1,0 +1,142 @@
+"""Command-line interface of the qCORAL reproduction.
+
+Two sub-commands cover the two entry points of the paper's tool chain:
+
+``qcoral analyze``
+    Run the full pipeline of Figure 1 on a mini-language program: symbolic
+    execution followed by probabilistic analysis of a target event.
+
+``qcoral quantify``
+    Skip symbolic execution and quantify a constraint set given directly in
+    the constraint language, with per-variable domains supplied on the command
+    line (the mode in which the paper's microbenchmarks are run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.pipeline import analyze_program
+from repro.core.profiles import UsageProfile
+from repro.core.qcoral import QCoralAnalyzer, QCoralConfig
+from repro.errors import ReproError
+from repro.lang.parser import parse_constraint_set
+
+
+def _parse_domain(specs: Sequence[str]) -> Dict[str, Tuple[float, float]]:
+    """Parse ``name=lo:hi`` command-line domain specifications."""
+    bounds: Dict[str, Tuple[float, float]] = {}
+    for spec in specs:
+        try:
+            name, interval = spec.split("=", 1)
+            low_text, high_text = interval.split(":", 1)
+            bounds[name.strip()] = (float(low_text), float(high_text))
+        except ValueError as exc:
+            raise ReproError(f"invalid domain specification {spec!r}; expected name=lo:hi") from exc
+    return bounds
+
+
+def _config_from_args(args: argparse.Namespace) -> QCoralConfig:
+    return QCoralConfig(
+        samples_per_query=args.samples,
+        stratified=not args.no_strat,
+        partition_and_cache=not args.no_partcache,
+        seed=args.seed,
+    )
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--samples", type=int, default=30_000, help="sampling budget per query")
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+    parser.add_argument("--no-strat", action="store_true", help="disable ICP stratified sampling")
+    parser.add_argument(
+        "--no-partcache", action="store_true", help="disable partitioning and caching"
+    )
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    with open(args.program, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    config = _config_from_args(args)
+    result = analyze_program(source, args.event, config=config, max_depth=args.max_depth)
+    print(f"event:        {args.event}")
+    print(f"paths:        {len(result.qcoral_result.path_reports)}")
+    print(f"probability:  {result.mean:.6f}")
+    print(f"std:          {result.std:.3e}")
+    print(f"time:         {result.qcoral_result.analysis_time:.2f}s")
+    print(result.confidence_note)
+    return 0
+
+
+def _command_quantify(args: argparse.Namespace) -> int:
+    if args.constraints_file:
+        with open(args.constraints_file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = args.constraints
+    if not text:
+        print("error: provide constraints inline or via --constraints-file", file=sys.stderr)
+        return 2
+    constraint_set = parse_constraint_set(text)
+    bounds = _parse_domain(args.domain)
+    profile = UsageProfile.uniform(bounds)
+    config = _config_from_args(args)
+    analyzer = QCoralAnalyzer(profile, config)
+    result = analyzer.analyze(constraint_set)
+    print(f"configuration: {config.feature_label()}")
+    print(f"paths:         {len(constraint_set)}")
+    print(f"probability:   {result.mean:.6f}")
+    print(f"std:           {result.std:.3e}")
+    print(f"time:          {result.analysis_time:.2f}s")
+    cache = result.cache_statistics
+    if cache.lookups:
+        print(f"cache:         {cache.hits}/{cache.lookups} hits")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="qcoral",
+        description="Compositional solution space quantification (PLDI 2014 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="analyze a mini-language program")
+    analyze.add_argument("program", help="path to the program source file")
+    analyze.add_argument("event", help="target event name (or assert.violation)")
+    analyze.add_argument("--max-depth", type=int, default=50, help="symbolic execution bound")
+    _add_common_options(analyze)
+    analyze.set_defaults(handler=_command_analyze)
+
+    quantify = subparsers.add_parser("quantify", help="quantify a constraint set directly")
+    quantify.add_argument("constraints", nargs="?", default="", help="constraint set text")
+    quantify.add_argument("--constraints-file", help="file containing the constraint set")
+    quantify.add_argument(
+        "--domain",
+        action="append",
+        default=[],
+        metavar="VAR=LO:HI",
+        help="domain of one input variable (repeatable)",
+    )
+    _add_common_options(quantify)
+    quantify.set_defaults(handler=_command_quantify)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""qCORAL core: estimators, samplers, compositional analysis."""
+
+from repro.core.cache import CacheStatistics, EstimateCache
+from repro.core.composition import (
+    compose_disjoint_path_conditions,
+    compose_independent_factors,
+    variance_upper_bound_holds,
+)
+from repro.core.dependency import (
+    DependencyPartition,
+    UnionFind,
+    compute_dependency_partition,
+    partition_for_constraint_set,
+)
+from repro.core.estimate import Estimate, product_independent, sum_disjoint
+from repro.core.montecarlo import SamplingResult, hit_or_miss, hit_or_miss_constraint_set
+from repro.core.profiles import (
+    Distribution,
+    PiecewiseUniformDistribution,
+    TruncatedNormalDistribution,
+    UniformDistribution,
+    UsageProfile,
+)
+from repro.core.qcoral import (
+    FactorReport,
+    PathConditionReport,
+    QCoralAnalyzer,
+    QCoralConfig,
+    QCoralResult,
+    quantify,
+)
+from repro.core.stratified import StratifiedResult, StratumReport, stratified_sampling
+
+__all__ = [
+    "Estimate",
+    "sum_disjoint",
+    "product_independent",
+    "UsageProfile",
+    "Distribution",
+    "UniformDistribution",
+    "TruncatedNormalDistribution",
+    "PiecewiseUniformDistribution",
+    "SamplingResult",
+    "hit_or_miss",
+    "hit_or_miss_constraint_set",
+    "StratifiedResult",
+    "StratumReport",
+    "stratified_sampling",
+    "DependencyPartition",
+    "UnionFind",
+    "compute_dependency_partition",
+    "partition_for_constraint_set",
+    "EstimateCache",
+    "CacheStatistics",
+    "compose_disjoint_path_conditions",
+    "compose_independent_factors",
+    "variance_upper_bound_holds",
+    "QCoralAnalyzer",
+    "QCoralConfig",
+    "QCoralResult",
+    "PathConditionReport",
+    "FactorReport",
+    "quantify",
+]

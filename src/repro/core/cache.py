@@ -1,0 +1,92 @@
+"""Cache of per-factor estimates (the PARTCACHE feature).
+
+Algorithm 2 stores the estimate computed for each independent factor (the
+projection of a path condition onto one block of the variable partition) and
+reuses it whenever the same factor reappears — either in another path
+condition or in the same one after simplification.  The cache key is the
+canonical text of the simplified factor, so syntactic duplicates share an
+entry regardless of conjunct order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.estimate import Estimate
+from repro.lang import ast
+from repro.lang.simplify import simplify_path_condition
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss counters exposed in analysis reports."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never used)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class EstimateCache:
+    """Maps canonical factor text to a previously computed :class:`Estimate`."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Estimate] = {}
+        self._statistics = CacheStatistics()
+
+    @property
+    def statistics(self) -> CacheStatistics:
+        """Hit/miss counters accumulated so far."""
+        return self._statistics
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, factor: ast.PathCondition) -> bool:
+        return self.key_for(factor) in self._entries
+
+    @staticmethod
+    def key_for(factor: ast.PathCondition) -> str:
+        """Canonical cache key of a factor (order-insensitive, simplified)."""
+        return simplify_path_condition(factor).canonical()
+
+    def get(self, factor: ast.PathCondition) -> Optional[Estimate]:
+        """Cached estimate for ``factor`` or None, updating the counters."""
+        key = self.key_for(factor)
+        entry = self._entries.get(key)
+        if entry is None:
+            self._statistics.misses += 1
+        else:
+            self._statistics.hits += 1
+        return entry
+
+    def put(self, factor: ast.PathCondition, estimate: Estimate) -> None:
+        """Store the estimate for ``factor``."""
+        self._entries[self.key_for(factor)] = estimate
+
+    def get_or_compute(
+        self, factor: ast.PathCondition, compute: Callable[[], Estimate]
+    ) -> Estimate:
+        """Return the cached estimate or compute, store, and return a new one."""
+        cached = self.get(factor)
+        if cached is not None:
+            return cached
+        estimate = compute()
+        self.put(factor, estimate)
+        return estimate
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self._statistics = CacheStatistics()

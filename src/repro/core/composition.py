@@ -1,0 +1,47 @@
+"""Composition of estimators across the structure of the constraint set.
+
+This module packages the two composition rules of Section 4 behind names that
+match the paper's presentation:
+
+* :func:`compose_disjoint_path_conditions` — Section 4.1, Equations (4)–(6):
+  path conditions produced by symbolic execution are pairwise disjoint, so
+  their estimators add and the summed variance is an upper bound (Theorem 1).
+* :func:`compose_independent_factors` — Section 4.2, Equations (7)–(8): the
+  factors of one path condition obtained from the dependency partition are
+  statistically independent, so their estimators multiply.
+
+Both functions simply fold the corresponding :class:`Estimate` methods; they
+exist so the qCORAL analyzer and the tests can refer to the rules by name.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.estimate import Estimate, product_independent, sum_disjoint
+
+
+def compose_disjoint_path_conditions(estimates: Iterable[Estimate]) -> Estimate:
+    """Estimator of the disjunction of pairwise-disjoint path conditions.
+
+    The mean is the exact sum of the member means (Equation 5); the variance is
+    the sum of the member variances, which Theorem 1 shows is an upper bound on
+    the true variance of the summed estimator.
+    """
+    return sum_disjoint(estimates)
+
+
+def compose_independent_factors(estimates: Iterable[Estimate]) -> Estimate:
+    """Estimator of the conjunction of independent factors (Equations 7–8)."""
+    return product_independent(estimates)
+
+
+def variance_upper_bound_holds(
+    member_variances: Sequence[float], combined_variance: float, tolerance: float = 1e-12
+) -> bool:
+    """Check the Theorem 1 inequality ``Var[X] <= Σ Var[X_i]`` up to ``tolerance``.
+
+    Used by the property-based tests to validate that empirical variances of
+    summed estimators never exceed the bound reported by the analyzer.
+    """
+    return combined_variance <= sum(member_variances) + tolerance

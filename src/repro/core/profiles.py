@@ -1,0 +1,286 @@
+"""Usage profiles: probability distributions over the bounded input domain.
+
+A usage profile (paper Section 3) assigns to every floating-point input
+variable a bounded domain and a probability distribution over it.  The paper's
+implementation supports uniform profiles only; this reproduction additionally
+ships truncated-normal and piecewise-uniform (histogram) distributions, which
+the paper lists as future work, so the sampling layer and the stratified
+weights generalise beyond the uniform case.
+
+Each distribution must support two operations used by the samplers:
+
+* ``measure(interval)`` — the probability mass the distribution assigns to a
+  sub-interval of its support (this generalises the ``size(R)/size(D)``
+  stratum weight of Equation (3));
+* ``sample(rng, count, interval)`` — i.i.d. samples conditioned to lie in a
+  sub-interval of the support (used to sample inside ICP boxes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import DomainError
+from repro.intervals.box import Box
+from repro.intervals.interval import Interval
+
+
+class Distribution:
+    """Base class of single-variable input distributions with bounded support."""
+
+    @property
+    def support(self) -> Interval:
+        """The bounded interval outside which the density is zero."""
+        raise NotImplementedError
+
+    def measure(self, interval: Interval) -> float:
+        """Probability mass of ``interval ∩ support`` (in [0, 1])."""
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator, count: int, interval: Optional[Interval] = None) -> np.ndarray:
+        """Draw ``count`` samples conditioned on ``interval`` (default: the support)."""
+        raise NotImplementedError
+
+    def _clip(self, interval: Optional[Interval]) -> Interval:
+        target = self.support if interval is None else interval.intersect(self.support)
+        if target.is_empty():
+            raise DomainError(f"sampling interval {interval} does not intersect support {self.support}")
+        return target
+
+
+@dataclass(frozen=True)
+class UniformDistribution(Distribution):
+    """Uniform distribution over a closed interval — the paper's profile."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.low) and math.isfinite(self.high)):
+            raise DomainError("uniform distribution bounds must be finite")
+        if self.low > self.high:
+            raise DomainError(f"invalid uniform bounds [{self.low}, {self.high}]")
+
+    @property
+    def support(self) -> Interval:
+        return Interval.make(self.low, self.high)
+
+    def measure(self, interval: Interval) -> float:
+        clipped = interval.intersect(self.support)
+        if clipped.is_empty():
+            return 0.0
+        width = self.high - self.low
+        if width == 0.0:
+            return 1.0
+        return clipped.width() / width
+
+    def sample(self, rng: np.random.Generator, count: int, interval: Optional[Interval] = None) -> np.ndarray:
+        target = self._clip(interval)
+        if target.is_point():
+            return np.full(count, target.lo)
+        return rng.uniform(target.lo, target.hi, size=count)
+
+
+@dataclass(frozen=True)
+class TruncatedNormalDistribution(Distribution):
+    """Normal distribution truncated to a bounded interval."""
+
+    mean: float
+    std: float
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.std <= 0:
+            raise DomainError("standard deviation must be positive")
+        if not (math.isfinite(self.low) and math.isfinite(self.high)) or self.low >= self.high:
+            raise DomainError(f"invalid truncation bounds [{self.low}, {self.high}]")
+
+    @property
+    def support(self) -> Interval:
+        return Interval.make(self.low, self.high)
+
+    def _cdf(self, value: float) -> float:
+        return float(stats.norm.cdf(value, loc=self.mean, scale=self.std))
+
+    def measure(self, interval: Interval) -> float:
+        clipped = interval.intersect(self.support)
+        if clipped.is_empty():
+            return 0.0
+        total = self._cdf(self.high) - self._cdf(self.low)
+        if total <= 0.0:
+            # The support sits in the far tail; fall back to a uniform measure.
+            return clipped.width() / (self.high - self.low)
+        return (self._cdf(clipped.hi) - self._cdf(clipped.lo)) / total
+
+    def sample(self, rng: np.random.Generator, count: int, interval: Optional[Interval] = None) -> np.ndarray:
+        target = self._clip(interval)
+        if target.is_point():
+            return np.full(count, target.lo)
+        lower_cdf = self._cdf(target.lo)
+        upper_cdf = self._cdf(target.hi)
+        if upper_cdf - lower_cdf <= 0.0:
+            return np.full(count, target.midpoint())
+        quantiles = rng.uniform(lower_cdf, upper_cdf, size=count)
+        samples = stats.norm.ppf(quantiles, loc=self.mean, scale=self.std)
+        return np.clip(samples, target.lo, target.hi)
+
+
+@dataclass(frozen=True)
+class PiecewiseUniformDistribution(Distribution):
+    """Histogram distribution: uniform within each bin, given bin weights.
+
+    This is the discretised-profile representation used by Filieri et al. to
+    approximate arbitrary profiles with counting-based techniques; it lets the
+    reproduction express non-uniform integer-style profiles as well.
+    """
+
+    edges: Tuple[float, ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.edges) < 2 or len(self.weights) != len(self.edges) - 1:
+            raise DomainError("piecewise distribution needs n+1 edges for n weights")
+        if any(b <= a for a, b in zip(self.edges, self.edges[1:])):
+            raise DomainError("piecewise distribution edges must be strictly increasing")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise DomainError("piecewise distribution weights must be non-negative and not all zero")
+
+    @property
+    def support(self) -> Interval:
+        return Interval.make(self.edges[0], self.edges[-1])
+
+    def _normalised_weights(self) -> np.ndarray:
+        weights = np.asarray(self.weights, dtype=float)
+        return weights / weights.sum()
+
+    def measure(self, interval: Interval) -> float:
+        clipped = interval.intersect(self.support)
+        if clipped.is_empty():
+            return 0.0
+        weights = self._normalised_weights()
+        mass = 0.0
+        for index, weight in enumerate(weights):
+            bin_interval = Interval.make(self.edges[index], self.edges[index + 1])
+            overlap = clipped.intersect(bin_interval)
+            if not overlap.is_empty() and bin_interval.width() > 0:
+                mass += weight * overlap.width() / bin_interval.width()
+        return mass
+
+    def sample(self, rng: np.random.Generator, count: int, interval: Optional[Interval] = None) -> np.ndarray:
+        target = self._clip(interval)
+        if target.is_point():
+            return np.full(count, target.lo)
+        weights = self._normalised_weights()
+        bin_masses = []
+        bin_intervals = []
+        for index, weight in enumerate(weights):
+            bin_interval = Interval.make(self.edges[index], self.edges[index + 1])
+            overlap = target.intersect(bin_interval)
+            if overlap.is_empty() or overlap.width() == 0.0:
+                continue
+            bin_intervals.append(overlap)
+            bin_masses.append(weight * overlap.width() / bin_interval.width())
+        masses = np.asarray(bin_masses, dtype=float)
+        if masses.sum() <= 0.0:
+            return np.full(count, target.midpoint())
+        masses /= masses.sum()
+        choices = rng.choice(len(bin_intervals), size=count, p=masses)
+        samples = np.empty(count)
+        for index, overlap in enumerate(bin_intervals):
+            mask = choices == index
+            samples[mask] = rng.uniform(overlap.lo, overlap.hi, size=int(mask.sum()))
+        return samples
+
+
+class UsageProfile:
+    """A usage profile: one bounded distribution per input variable."""
+
+    def __init__(self, distributions: Mapping[str, Distribution]) -> None:
+        if not distributions:
+            raise DomainError("a usage profile needs at least one variable")
+        self._distributions: Dict[str, Distribution] = dict(distributions)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def uniform(bounds: Mapping[str, Tuple[float, float]]) -> "UsageProfile":
+        """Uniform profile from a mapping of variable name to ``(lo, hi)``."""
+        return UsageProfile({name: UniformDistribution(lo, hi) for name, (lo, hi) in bounds.items()})
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """Variable names covered by the profile, in insertion order."""
+        return tuple(self._distributions)
+
+    def distribution(self, name: str) -> Distribution:
+        """Distribution of variable ``name``."""
+        try:
+            return self._distributions[name]
+        except KeyError as exc:
+            raise DomainError(f"profile has no variable {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._distributions
+
+    def domain(self) -> Box:
+        """The input domain D: the Cartesian product of all supports."""
+        return Box({name: dist.support for name, dist in self._distributions.items()})
+
+    def restrict(self, variables: Iterable[str]) -> "UsageProfile":
+        """Profile over a subset of the variables (order follows ``variables``)."""
+        names = list(variables)
+        missing = [name for name in names if name not in self._distributions]
+        if missing:
+            raise DomainError(f"profile has no variables {missing}")
+        return UsageProfile({name: self._distributions[name] for name in names})
+
+    # ------------------------------------------------------------------ #
+    # Probability measure and sampling
+    # ------------------------------------------------------------------ #
+    def weight(self, box: Box) -> float:
+        """Probability mass of ``box`` under the profile.
+
+        For uniform profiles this is exactly the ``size(R)/size(D)`` stratum
+        weight of the paper's Equation (3); for other profiles it is the
+        probability of an input falling into the box, which is the correct
+        generalisation of the weight.
+        """
+        mass = 1.0
+        for name, interval in box.items():
+            mass *= self.distribution(name).measure(interval)
+        return mass
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        variables: Optional[Sequence[str]] = None,
+        box: Optional[Box] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Draw ``count`` independent samples for ``variables`` (default: all).
+
+        When ``box`` is given, each variable present in the box is sampled
+        conditioned on its box interval (used to sample within ICP strata).
+        """
+        names = list(variables) if variables is not None else list(self._distributions)
+        batch: Dict[str, np.ndarray] = {}
+        for name in names:
+            interval = box.interval(name) if box is not None and name in box else None
+            batch[name] = self.distribution(name).sample(rng, count, interval)
+        return batch
+
+    def check_covers(self, variables: Iterable[str]) -> None:
+        """Raise :class:`DomainError` unless every variable has a distribution."""
+        missing = sorted(set(variables) - set(self._distributions))
+        if missing:
+            raise DomainError(f"usage profile does not cover variables {missing}")

@@ -1,0 +1,309 @@
+"""The qCORAL analyzer: Algorithms 1 and 2 of the paper.
+
+:class:`QCoralAnalyzer` quantifies the probability that an input drawn from a
+usage profile satisfies *any* path condition of a constraint set.  The two
+optional features evaluated in the paper (Table 4) are exposed as configuration
+flags:
+
+* ``stratified`` (STRAT) — estimate each factor with ICP-driven stratified
+  sampling instead of whole-domain hit-or-miss Monte Carlo;
+* ``partition_and_cache`` (PARTCACHE) — split each path condition into
+  independent factors along the dependency partition of the input variables,
+  estimate factors separately, compose with the product rule, and cache factor
+  estimates for reuse across path conditions.
+
+Typical use::
+
+    profile = UsageProfile.uniform({"x": (-1, 1), "y": (-1, 1)})
+    result = QCoralAnalyzer(profile).analyze(parse_constraint_set("x <= 0 - y && y <= x"))
+    print(result.mean, result.std)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cache import CacheStatistics, EstimateCache
+from repro.core.composition import (
+    compose_disjoint_path_conditions,
+    compose_independent_factors,
+)
+from repro.core.dependency import DependencyPartition, compute_dependency_partition
+from repro.core.estimate import Estimate
+from repro.core.montecarlo import hit_or_miss
+from repro.core.profiles import UsageProfile
+from repro.core.stratified import stratified_sampling
+from repro.errors import AnalysisError, ConfigurationError
+from repro.icp.config import ICPConfig, PAPER_CONFIG
+from repro.icp.solver import ICPSolver
+from repro.lang import ast
+from repro.lang.analysis import group_constraints_by_block
+from repro.lang.simplify import simplify_path_condition
+
+
+@dataclass(frozen=True)
+class QCoralConfig:
+    """Configuration of a qCORAL analysis run.
+
+    Attributes:
+        samples_per_query: Sampling budget per estimated factor (split across
+            ICP strata when stratification is enabled).  This mirrors the
+            "maximum number of samples" knob of the paper's experiments.
+        stratified: Enable the STRAT feature (ICP + stratified sampling).
+        partition_and_cache: Enable the PARTCACHE feature (independent-factor
+            decomposition with caching).
+        seed: Seed for the NumPy random generator; None draws fresh entropy.
+        icp: Configuration of the ICP paving solver.
+        simplify: Simplify path conditions (constant folding, duplicate
+            conjunct removal) before analysis.
+    """
+
+    samples_per_query: int = 30_000
+    stratified: bool = True
+    partition_and_cache: bool = True
+    seed: Optional[int] = None
+    icp: ICPConfig = PAPER_CONFIG
+    simplify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.samples_per_query <= 0:
+            raise ConfigurationError("samples_per_query must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Presets matching the configurations named in the paper's Table 4
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def plain(samples: int = 30_000, seed: Optional[int] = None) -> "QCoralConfig":
+        """qCORAL{}: per-path hit-or-miss, no stratification, no caching."""
+        return QCoralConfig(samples_per_query=samples, stratified=False, partition_and_cache=False, seed=seed)
+
+    @staticmethod
+    def strat(samples: int = 30_000, seed: Optional[int] = None) -> "QCoralConfig":
+        """qCORAL{STRAT}: stratified sampling per path condition."""
+        return QCoralConfig(samples_per_query=samples, stratified=True, partition_and_cache=False, seed=seed)
+
+    @staticmethod
+    def strat_partcache(samples: int = 30_000, seed: Optional[int] = None) -> "QCoralConfig":
+        """qCORAL{STRAT, PARTCACHE}: the full approach evaluated in the paper."""
+        return QCoralConfig(samples_per_query=samples, stratified=True, partition_and_cache=True, seed=seed)
+
+    def feature_label(self) -> str:
+        """Human-readable feature-set label, e.g. ``qCORAL{STRAT,PARTCACHE}``."""
+        features = []
+        if self.stratified:
+            features.append("STRAT")
+        if self.partition_and_cache:
+            features.append("PARTCACHE")
+        return "qCORAL{" + ",".join(features) + "}"
+
+    def with_samples(self, samples: int) -> "QCoralConfig":
+        """Copy of this configuration with a different sampling budget."""
+        return replace(self, samples_per_query=samples)
+
+    def with_seed(self, seed: Optional[int]) -> "QCoralConfig":
+        """Copy of this configuration with a different random seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class FactorReport:
+    """Estimate of one independent factor of a path condition."""
+
+    variables: FrozenSet[str]
+    factor: ast.PathCondition
+    estimate: Estimate
+    from_cache: bool
+    samples: int
+
+
+@dataclass(frozen=True)
+class PathConditionReport:
+    """Per-path-condition record of an analysis."""
+
+    pc: ast.PathCondition
+    estimate: Estimate
+    factors: Tuple[FactorReport, ...]
+
+    @property
+    def factor_count(self) -> int:
+        """Number of independent factors the path condition was split into."""
+        return len(self.factors)
+
+
+@dataclass(frozen=True)
+class QCoralResult:
+    """Result of quantifying a constraint set."""
+
+    estimate: Estimate
+    path_reports: Tuple[PathConditionReport, ...]
+    cache_statistics: CacheStatistics
+    total_samples: int
+    analysis_time: float
+    config: QCoralConfig
+
+    @property
+    def mean(self) -> float:
+        """Expected value of the probability estimator."""
+        return self.estimate.mean
+
+    @property
+    def variance(self) -> float:
+        """Variance upper bound of the probability estimator (Theorem 1)."""
+        return self.estimate.variance
+
+    @property
+    def std(self) -> float:
+        """Standard deviation (square root of the variance bound)."""
+        return self.estimate.std
+
+    def __repr__(self) -> str:
+        return (
+            f"QCoralResult(mean={self.mean:.6f}, std={self.std:.3e}, "
+            f"paths={len(self.path_reports)}, time={self.analysis_time:.2f}s)"
+        )
+
+
+class QCoralAnalyzer:
+    """Compositional statistical quantification of constraint solution spaces."""
+
+    def __init__(self, profile: UsageProfile, config: QCoralConfig = QCoralConfig()) -> None:
+        self._profile = profile
+        self._config = config
+        self._cache = EstimateCache()
+        self._solver = ICPSolver(config.icp)
+        self._rng = np.random.default_rng(config.seed)
+
+    @property
+    def profile(self) -> UsageProfile:
+        """The usage profile this analyzer samples from."""
+        return self._profile
+
+    @property
+    def config(self) -> QCoralConfig:
+        """The analysis configuration."""
+        return self._config
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Clear the factor cache and re-seed the random generator."""
+        self._cache.clear()
+        self._rng = np.random.default_rng(self._config.seed if seed is None else seed)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1: main loop over the disjoint path conditions
+    # ------------------------------------------------------------------ #
+    def analyze(self, constraint_set: ast.ConstraintSet) -> QCoralResult:
+        """Quantify the probability of satisfying any PC of ``constraint_set``."""
+        started = time.perf_counter()
+        self._profile.check_covers(constraint_set.free_variables())
+
+        path_conditions = [
+            simplify_path_condition(pc) if self._config.simplify else pc
+            for pc in constraint_set.path_conditions
+        ]
+
+        partition = self._partition_for(path_conditions)
+
+        reports = []
+        total_samples = 0
+        for pc in path_conditions:
+            report = self._analyze_conjunction(pc, partition)
+            reports.append(report)
+            total_samples += sum(factor.samples for factor in report.factors)
+
+        estimate = compose_disjoint_path_conditions(report.estimate for report in reports)
+        elapsed = time.perf_counter() - started
+        return QCoralResult(
+            estimate=estimate,
+            path_reports=tuple(reports),
+            cache_statistics=self._cache.statistics,
+            total_samples=total_samples,
+            analysis_time=elapsed,
+            config=self._config,
+        )
+
+    def analyze_path_condition(self, pc: ast.PathCondition) -> PathConditionReport:
+        """Quantify a single path condition in isolation."""
+        simplified = simplify_path_condition(pc) if self._config.simplify else pc
+        partition = self._partition_for([simplified])
+        return self._analyze_conjunction(simplified, partition)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2: analysis of one conjunction
+    # ------------------------------------------------------------------ #
+    def _partition_for(self, path_conditions: Sequence[ast.PathCondition]) -> DependencyPartition:
+        if self._config.partition_and_cache:
+            return compute_dependency_partition(path_conditions)
+        # Without PARTCACHE every path condition is analysed as one factor over
+        # all of its variables, so the partition is the trivial one-block
+        # partition of each PC (built lazily in _analyze_conjunction).
+        return DependencyPartition(())
+
+    def _analyze_conjunction(
+        self, pc: ast.PathCondition, partition: DependencyPartition
+    ) -> PathConditionReport:
+        if not pc.constraints:
+            # A trivially true path condition covers the whole domain.
+            return PathConditionReport(pc, Estimate.one(), ())
+
+        factors = self._split_factors(pc, partition)
+        factor_reports = []
+        for variables, factor in factors:
+            factor_reports.append(self._estimate_factor(factor, variables))
+
+        estimate = compose_independent_factors(report.estimate for report in factor_reports)
+        return PathConditionReport(pc, estimate, tuple(factor_reports))
+
+    def _split_factors(
+        self, pc: ast.PathCondition, partition: DependencyPartition
+    ) -> Sequence[Tuple[FrozenSet[str], ast.PathCondition]]:
+        if self._config.partition_and_cache and len(partition) > 0:
+            return group_constraints_by_block(pc, tuple(partition))
+        return [(frozenset(pc.free_variables()), pc)]
+
+    def _estimate_factor(
+        self, factor: ast.PathCondition, variables: FrozenSet[str]
+    ) -> FactorReport:
+        ordered_variables = tuple(sorted(variables & factor.free_variables())) or tuple(
+            sorted(factor.free_variables())
+        )
+
+        if self._config.partition_and_cache:
+            cached = self._cache.get(factor)
+            if cached is not None:
+                return FactorReport(frozenset(ordered_variables), factor, cached, True, 0)
+
+        estimate, samples = self._sample_factor(factor, ordered_variables)
+
+        if self._config.partition_and_cache:
+            self._cache.put(factor, estimate)
+        return FactorReport(frozenset(ordered_variables), factor, estimate, False, samples)
+
+    def _sample_factor(
+        self, factor: ast.PathCondition, variables: Tuple[str, ...]
+    ) -> Tuple[Estimate, int]:
+        budget = self._config.samples_per_query
+        if self._config.stratified:
+            result = stratified_sampling(
+                factor,
+                self._profile,
+                budget,
+                self._rng,
+                variables=variables,
+                solver=self._solver,
+            )
+            return result.estimate, result.total_samples
+        result = hit_or_miss(factor, self._profile, budget, self._rng, variables=variables)
+        return result.estimate, result.samples
+
+
+def quantify(
+    constraint_set: ast.ConstraintSet,
+    profile: UsageProfile,
+    config: QCoralConfig = QCoralConfig(),
+) -> QCoralResult:
+    """One-shot convenience wrapper around :class:`QCoralAnalyzer`."""
+    return QCoralAnalyzer(profile, config).analyze(constraint_set)

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the qCORAL reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+downstream user can catch a single exception type at the API boundary while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` package."""
+
+
+class IntervalError(ReproError):
+    """Raised when an interval operation is given invalid bounds or arguments."""
+
+
+class EmptyIntervalError(IntervalError):
+    """Raised when an operation requires a non-empty interval but got an empty one."""
+
+
+class ParseError(ReproError):
+    """Raised by the constraint-language and mini-language parsers on bad input."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class EvaluationError(ReproError):
+    """Raised when a concrete or interval evaluation cannot be completed."""
+
+
+class UnknownVariableError(EvaluationError):
+    """Raised when evaluation encounters a variable with no binding or domain."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"unknown variable: {name!r}")
+
+
+class UnknownFunctionError(EvaluationError):
+    """Raised when evaluation encounters an unsupported function symbol."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"unknown function: {name!r}")
+
+
+class DomainError(ReproError):
+    """Raised when an input domain is missing, unbounded or inconsistent."""
+
+
+class ICPError(ReproError):
+    """Raised when the interval-constraint-propagation solver fails."""
+
+
+class SymbolicExecutionError(ReproError):
+    """Raised by the mini-language symbolic executor."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the probabilistic-analysis layer (qCORAL and baselines)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an analysis or solver configuration is invalid."""

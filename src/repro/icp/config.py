@@ -1,0 +1,51 @@
+"""Configuration of the interval-constraint-propagation solver.
+
+The defaults mirror the RealPaver configuration reported in the paper
+(Section 5): at most 10 boxes per query, a precision of 3 decimal digits for
+the smallest reported box, and a 2-second budget per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ICPConfig:
+    """Knobs of the branch-and-prune paving solver.
+
+    Attributes:
+        max_boxes: Upper bound on the number of boxes reported per query
+            (paper: 10).
+        precision: Absolute width below which a box dimension is no longer
+            split; the paper's "3 decimal digits" corresponds to ``1e-3``.
+        time_budget: Wall-clock budget per query, in seconds (paper: 2 s).
+        max_contractor_iterations: Fixpoint iterations of the HC4 contractor
+            per box before giving up on further pruning.
+        contraction_tolerance: Minimum relative width reduction for the
+            contractor fixpoint loop to keep iterating.
+    """
+
+    max_boxes: int = 10
+    precision: float = 1e-3
+    time_budget: float = 2.0
+    max_contractor_iterations: int = 50
+    contraction_tolerance: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.max_boxes < 1:
+            raise ConfigurationError("max_boxes must be at least 1")
+        if self.precision <= 0:
+            raise ConfigurationError("precision must be positive")
+        if self.time_budget <= 0:
+            raise ConfigurationError("time_budget must be positive")
+        if self.max_contractor_iterations < 1:
+            raise ConfigurationError("max_contractor_iterations must be at least 1")
+        if self.contraction_tolerance < 0:
+            raise ConfigurationError("contraction_tolerance must be non-negative")
+
+
+#: Configuration used throughout the paper's experiments.
+PAPER_CONFIG = ICPConfig()

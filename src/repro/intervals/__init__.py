@@ -1,0 +1,15 @@
+"""Interval-arithmetic substrate: intervals, boxes, and interval functions."""
+
+from repro.intervals.box import Box
+from repro.intervals.functions import apply_function, supported_functions
+from repro.intervals.interval import EMPTY, ENTIRE, UNIT, Interval
+
+__all__ = [
+    "Box",
+    "Interval",
+    "EMPTY",
+    "ENTIRE",
+    "UNIT",
+    "apply_function",
+    "supported_functions",
+]

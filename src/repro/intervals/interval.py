@@ -1,0 +1,341 @@
+"""Closed real intervals with (conservative) outward-rounded arithmetic.
+
+This module is the foundation of the RealPaver substitute: every interval
+operation is *enclosing*, i.e. the exact real result of applying the operation
+pointwise to members of the operand intervals is contained in the returned
+interval.  Outward rounding is implemented with :func:`math.nextafter`, which
+is cheaper and simpler than switching the FPU rounding mode and is sufficient
+for the soundness argument the paper relies on (the union of ICP boxes must
+contain *all* solutions).
+
+The special empty interval is represented by :data:`EMPTY`; arithmetic on it
+propagates emptiness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+from repro.errors import EmptyIntervalError, IntervalError
+
+Number = Union[int, float]
+
+_INF = math.inf
+
+
+def _next_down(value: float) -> float:
+    """Largest float strictly below ``value`` (identity on infinities)."""
+    if value == -_INF or value == _INF:
+        return value
+    return math.nextafter(value, -_INF)
+
+
+def _next_up(value: float) -> float:
+    """Smallest float strictly above ``value`` (identity on infinities)."""
+    if value == -_INF or value == _INF:
+        return value
+    return math.nextafter(value, _INF)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` over the extended reals.
+
+    The interval is *empty* when ``lo > hi``; use :meth:`is_empty` rather than
+    comparing the bounds directly.  Instances are immutable and hashable so
+    they can be used as cache keys.
+    """
+
+    lo: float
+    hi: float
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def make(lo: Number, hi: Number) -> "Interval":
+        """Build an interval, validating the bounds.
+
+        ``lo`` may equal ``hi`` (a point interval).  NaN bounds are rejected.
+        """
+        lo_f = float(lo)
+        hi_f = float(hi)
+        if math.isnan(lo_f) or math.isnan(hi_f):
+            raise IntervalError(f"interval bounds may not be NaN: [{lo}, {hi}]")
+        return Interval(lo_f, hi_f)
+
+    @staticmethod
+    def point(value: Number) -> "Interval":
+        """Interval containing exactly ``value``."""
+        return Interval.make(value, value)
+
+    @staticmethod
+    def empty() -> "Interval":
+        """The canonical empty interval."""
+        return EMPTY
+
+    @staticmethod
+    def entire() -> "Interval":
+        """The whole extended real line."""
+        return ENTIRE
+
+    @staticmethod
+    def hull_of(values: Iterable[Number]) -> "Interval":
+        """Smallest interval containing every value in ``values``."""
+        lo = _INF
+        hi = -_INF
+        seen = False
+        for value in values:
+            value_f = float(value)
+            if math.isnan(value_f):
+                raise IntervalError("cannot take the hull of NaN values")
+            seen = True
+            lo = min(lo, value_f)
+            hi = max(hi, value_f)
+        if not seen:
+            return EMPTY
+        return Interval(lo, hi)
+
+    # ------------------------------------------------------------------ #
+    # Predicates and accessors
+    # ------------------------------------------------------------------ #
+    def is_empty(self) -> bool:
+        """True when the interval contains no point."""
+        return self.lo > self.hi
+
+    def is_point(self) -> bool:
+        """True when the interval contains exactly one point."""
+        return self.lo == self.hi
+
+    def is_bounded(self) -> bool:
+        """True when both bounds are finite."""
+        return not self.is_empty() and math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    def width(self) -> float:
+        """Length ``hi - lo`` of the interval (0 for empty intervals)."""
+        if self.is_empty():
+            return 0.0
+        return self.hi - self.lo
+
+    def midpoint(self) -> float:
+        """Midpoint of a non-empty bounded interval."""
+        if self.is_empty():
+            raise EmptyIntervalError("midpoint of an empty interval")
+        if not self.is_bounded():
+            raise IntervalError(f"midpoint of an unbounded interval {self}")
+        mid = 0.5 * (self.lo + self.hi)
+        # Guard against overflow of lo + hi for huge magnitudes.
+        if not math.isfinite(mid):
+            mid = self.lo + 0.5 * (self.hi - self.lo)
+        return mid
+
+    def radius(self) -> float:
+        """Half of the interval width."""
+        return 0.5 * self.width()
+
+    def magnitude(self) -> float:
+        """Maximum absolute value over the interval."""
+        if self.is_empty():
+            return 0.0
+        return max(abs(self.lo), abs(self.hi))
+
+    def mignitude(self) -> float:
+        """Minimum absolute value over the interval."""
+        if self.is_empty():
+            return 0.0
+        if self.contains(0.0):
+            return 0.0
+        return min(abs(self.lo), abs(self.hi))
+
+    def contains(self, value: Number) -> bool:
+        """True when ``value`` lies inside the interval."""
+        if self.is_empty():
+            return False
+        return self.lo <= float(value) <= self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True when ``other`` is a subset of this interval."""
+        if other.is_empty():
+            return True
+        if self.is_empty():
+            return False
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the intersection with ``other`` is non-empty."""
+        if self.is_empty() or other.is_empty():
+            return False
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def clamp(self, value: Number) -> float:
+        """Closest point of the interval to ``value``."""
+        if self.is_empty():
+            raise EmptyIntervalError("cannot clamp into an empty interval")
+        return min(max(float(value), self.lo), self.hi)
+
+    def sample_points(self, count: int) -> Iterator[float]:
+        """Yield ``count`` evenly spaced points covering the interval."""
+        if self.is_empty() or count <= 0:
+            return
+        if count == 1 or self.is_point():
+            yield self.midpoint() if self.is_bounded() else self.lo
+            return
+        step = self.width() / (count - 1)
+        for index in range(count):
+            yield self.lo + index * step
+
+    # ------------------------------------------------------------------ #
+    # Lattice operations
+    # ------------------------------------------------------------------ #
+    def intersect(self, other: "Interval") -> "Interval":
+        """Set intersection."""
+        if self.is_empty() or other.is_empty():
+            return EMPTY
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return EMPTY
+        return Interval(lo, hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both operands (interval union hull)."""
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def split(self, at: Optional[float] = None) -> Tuple["Interval", "Interval"]:
+        """Split at ``at`` (default: midpoint) into two sub-intervals."""
+        if self.is_empty():
+            raise EmptyIntervalError("cannot split an empty interval")
+        point = self.midpoint() if at is None else float(at)
+        if not self.contains(point):
+            raise IntervalError(f"split point {point} not inside {self}")
+        return Interval(self.lo, point), Interval(point, self.hi)
+
+    def inflate(self, amount: float) -> "Interval":
+        """Widen both bounds outward by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise IntervalError("inflate amount must be non-negative")
+        if self.is_empty():
+            return self
+        return Interval(self.lo - amount, self.hi + amount)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic (enclosing / outward rounded)
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Union["Interval", Number]) -> "Interval":
+        other = _coerce(other)
+        if self.is_empty() or other.is_empty():
+            return EMPTY
+        return Interval(_next_down(self.lo + other.lo), _next_up(self.hi + other.hi))
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Interval":
+        if self.is_empty():
+            return EMPTY
+        return Interval(-self.hi, -self.lo)
+
+    def __sub__(self, other: Union["Interval", Number]) -> "Interval":
+        other = _coerce(other)
+        if self.is_empty() or other.is_empty():
+            return EMPTY
+        return Interval(_next_down(self.lo - other.hi), _next_up(self.hi - other.lo))
+
+    def __rsub__(self, other: Union["Interval", Number]) -> "Interval":
+        return _coerce(other) - self
+
+    def __mul__(self, other: Union["Interval", Number]) -> "Interval":
+        other = _coerce(other)
+        if self.is_empty() or other.is_empty():
+            return EMPTY
+        products = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                product = _mul_bound(a, b)
+                products.append(product)
+        return Interval(_next_down(min(products)), _next_up(max(products)))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Interval", Number]) -> "Interval":
+        other = _coerce(other)
+        if self.is_empty() or other.is_empty():
+            return EMPTY
+        if not other.contains(0.0):
+            reciprocals = []
+            for b in (other.lo, other.hi):
+                reciprocals.append(1.0 / b)
+            recip = Interval(_next_down(min(reciprocals)), _next_up(max(reciprocals)))
+            return self * recip
+        if other.is_point():  # other == [0, 0]
+            return EMPTY if not self.contains(0.0) else ENTIRE
+        # Division by an interval containing zero: result is unbounded.
+        return ENTIRE
+
+    def __rtruediv__(self, other: Union["Interval", Number]) -> "Interval":
+        return _coerce(other) / self
+
+    def __abs__(self) -> "Interval":
+        if self.is_empty():
+            return EMPTY
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return Interval(-self.hi, -self.lo)
+        return Interval(0.0, max(-self.lo, self.hi))
+
+    def sqr(self) -> "Interval":
+        """Enclosure of ``x * x`` — tighter than ``self * self`` around zero."""
+        if self.is_empty():
+            return EMPTY
+        abs_iv = abs(self)
+        return Interval(max(0.0, _next_down(abs_iv.lo * abs_iv.lo)), _next_up(abs_iv.hi * abs_iv.hi))
+
+    # ------------------------------------------------------------------ #
+    # Dunder plumbing
+    # ------------------------------------------------------------------ #
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.lo
+        yield self.hi
+
+    def __repr__(self) -> str:
+        if self.is_empty():
+            return "Interval.EMPTY"
+        return f"[{self.lo!r}, {self.hi!r}]"
+
+
+def _coerce(value: Union[Interval, Number]) -> Interval:
+    """Coerce a scalar into a point interval (identity on intervals)."""
+    if isinstance(value, Interval):
+        return value
+    return Interval.point(value)
+
+
+def _mul_bound(a: float, b: float) -> float:
+    """Multiply two bounds with the IEEE convention 0 * inf = 0.
+
+    In interval multiplication the indeterminate products arising from a zero
+    bound and an infinite bound must resolve to zero, otherwise the resulting
+    interval would spuriously become the whole line.
+    """
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+#: The canonical empty interval.
+EMPTY = Interval(_INF, -_INF)
+
+#: The whole extended real line.
+ENTIRE = Interval(-_INF, _INF)
+
+#: Convenience unit interval [0, 1].
+UNIT = Interval(0.0, 1.0)

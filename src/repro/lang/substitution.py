@@ -1,0 +1,47 @@
+"""Substitution of expressions for variables.
+
+The symbolic executor keeps an environment mapping program variables to
+symbolic expressions over the *input* variables; every branch condition it
+encounters is rewritten with this substitution so that the resulting path
+condition only mentions inputs — exactly the form qCORAL consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.lang import ast
+
+
+def substitute(expression: ast.Expression, bindings: Mapping[str, ast.Expression]) -> ast.Expression:
+    """Replace every variable in ``expression`` that has a binding.
+
+    Variables without a binding are left untouched (they are already inputs).
+    """
+    if isinstance(expression, ast.Constant):
+        return expression
+    if isinstance(expression, ast.Variable):
+        return bindings.get(expression.name, expression)
+    if isinstance(expression, ast.UnaryOp):
+        return ast.UnaryOp(expression.operator, substitute(expression.operand, bindings))
+    if isinstance(expression, ast.BinaryOp):
+        return ast.BinaryOp(
+            expression.operator,
+            substitute(expression.left, bindings),
+            substitute(expression.right, bindings),
+        )
+    if isinstance(expression, ast.FunctionCall):
+        return ast.FunctionCall(
+            expression.name,
+            tuple(substitute(argument, bindings) for argument in expression.arguments),
+        )
+    raise TypeError(f"cannot substitute into node of type {type(expression).__name__}")
+
+
+def substitute_constraint(constraint: ast.Constraint, bindings: Mapping[str, ast.Expression]) -> ast.Constraint:
+    """Apply :func:`substitute` to both sides of a constraint."""
+    return ast.Constraint(
+        constraint.operator,
+        substitute(constraint.left, bindings),
+        substitute(constraint.right, bindings),
+    )

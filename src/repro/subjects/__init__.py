@@ -1,0 +1,26 @@
+"""Benchmark subjects used to reproduce the paper's evaluation tables."""
+
+from repro.subjects import aerospace, programs, solids, volcomp_suite
+from repro.subjects.solids import Solid, VolumeEstimate, all_solids, estimate_volume, solid_by_name
+from repro.subjects.volcomp_suite import (
+    VolCompAssertion,
+    VolCompSubject,
+    all_assertion_cases,
+)
+from repro.subjects.aerospace import AerospaceSubject
+
+__all__ = [
+    "solids",
+    "volcomp_suite",
+    "aerospace",
+    "programs",
+    "Solid",
+    "VolumeEstimate",
+    "all_solids",
+    "solid_by_name",
+    "estimate_volume",
+    "VolCompSubject",
+    "VolCompAssertion",
+    "all_assertion_cases",
+    "AerospaceSubject",
+]

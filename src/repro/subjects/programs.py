@@ -1,0 +1,69 @@
+"""Mini-language example programs used by the examples and the test suite.
+
+The flagship program is the safety monitor of the paper's Section 4.4; the
+others are small, self-contained programs exercising loops, assertions and the
+math functions supported by the constraint language.
+"""
+
+from __future__ import annotations
+
+#: The autopilot safety monitor of Section 4.4 (Listing 1).
+SAFETY_MONITOR = """
+input altitude in [0, 20000];
+input headFlap in [-10, 10];
+input tailFlap in [-10, 10];
+
+if (altitude <= 9000) {
+    if (sin(headFlap * tailFlap) > 0.25) {
+        observe(callSupervisor);
+    }
+} else {
+    observe(callSupervisor);
+}
+"""
+
+#: Exact probability of the supervisor call for the safety monitor under the
+#: uniform profile, as reported in the paper (rounded to the 6th digit).
+SAFETY_MONITOR_EXACT = 0.737848
+
+#: The target event observed by the safety monitor.
+SAFETY_MONITOR_EVENT = "callSupervisor"
+
+
+#: A simple collision check between two points moving on a plane.
+COLLISION_CHECK = """
+input x1 in [0, 10];
+input y1 in [0, 10];
+input x2 in [0, 10];
+input y2 in [0, 10];
+
+distance = sqrt((x1 - x2) * (x1 - x2) + (y1 - y2) * (y1 - y2));
+if (distance <= 2.0) {
+    observe(collision);
+}
+"""
+
+#: A thermostat controller with a bounded control loop.
+THERMOSTAT = """
+input temperature in [10, 30];
+input heatingRate in [0.1, 1.0];
+
+steps = 0;
+current = temperature;
+while (current < 22 && steps < 8) {
+    current = current + heatingRate;
+    steps = steps + 1;
+}
+if (steps >= 8) {
+    observe(slowHeating);
+}
+"""
+
+#: A tiny scoring program with an assertion (used to exercise assert handling).
+SCORING_WITH_ASSERT = """
+input score in [0, 100];
+input bonus in [0, 20];
+
+total = score + bonus;
+assert(total <= 110);
+"""

@@ -1,0 +1,53 @@
+"""Mini imperative language with bounded symbolic execution (SPF substitute)."""
+
+from repro.symexec.ast import (
+    ASSERTION_VIOLATION_EVENT,
+    Assignment,
+    AssertStatement,
+    BooleanAnd,
+    BooleanNot,
+    BooleanOr,
+    Comparison,
+    Condition,
+    IfStatement,
+    InputDeclaration,
+    ObserveStatement,
+    Program,
+    SkipStatement,
+    Statement,
+    WhileStatement,
+)
+from repro.symexec.interpreter import ConcreteInterpreter, ExecutionTrace, run_program
+from repro.symexec.parser import parse_program
+from repro.symexec.symbolic import (
+    SymbolicExecutionResult,
+    SymbolicExecutor,
+    SymbolicPath,
+    execute_program,
+)
+
+__all__ = [
+    "ASSERTION_VIOLATION_EVENT",
+    "Program",
+    "Statement",
+    "InputDeclaration",
+    "Assignment",
+    "IfStatement",
+    "WhileStatement",
+    "ObserveStatement",
+    "AssertStatement",
+    "SkipStatement",
+    "Condition",
+    "Comparison",
+    "BooleanAnd",
+    "BooleanOr",
+    "BooleanNot",
+    "parse_program",
+    "ConcreteInterpreter",
+    "ExecutionTrace",
+    "run_program",
+    "SymbolicExecutor",
+    "SymbolicExecutionResult",
+    "SymbolicPath",
+    "execute_program",
+]

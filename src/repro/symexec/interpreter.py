@@ -1,0 +1,112 @@
+"""Concrete interpreter of the mini language.
+
+The interpreter executes a program on concrete floating-point inputs and
+records which target events occur.  It defines the ground-truth semantics the
+symbolic executor must agree with — the integration tests sample random inputs
+and check that an input observes an event if and only if it satisfies one of
+the path conditions the symbolic executor reports for that event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from repro.errors import SymbolicExecutionError
+from repro.lang.evaluator import evaluate, holds
+from repro.symexec import ast as prog_ast
+from repro.symexec.ast import ASSERTION_VIOLATION_EVENT
+
+
+@dataclass
+class ExecutionTrace:
+    """Result of a concrete run: final variable values and observed events."""
+
+    values: Dict[str, float]
+    events: List[str] = field(default_factory=list)
+    hit_bound: bool = False
+
+    def observed(self, event: str) -> bool:
+        """True when ``event`` occurred at least once during the run."""
+        return event in self.events
+
+
+class ConcreteInterpreter:
+    """Executes programs on concrete inputs with a loop-iteration bound."""
+
+    def __init__(self, program: prog_ast.Program, loop_bound: int = 1000) -> None:
+        if loop_bound < 1:
+            raise SymbolicExecutionError("loop bound must be at least 1")
+        self._program = program
+        self._loop_bound = loop_bound
+
+    def run(self, inputs: Mapping[str, float]) -> ExecutionTrace:
+        """Execute the program on ``inputs`` and return the trace."""
+        values: Dict[str, float] = {}
+        for declaration in self._program.inputs:
+            if declaration.name not in inputs:
+                raise SymbolicExecutionError(f"missing value for input {declaration.name!r}")
+            values[declaration.name] = float(inputs[declaration.name])
+        trace = ExecutionTrace(values=values)
+        self._run_block(self._program.body, trace)
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # Statement execution
+    # ------------------------------------------------------------------ #
+    def _run_block(self, statements: Sequence[prog_ast.Statement], trace: ExecutionTrace) -> None:
+        for statement in statements:
+            self._run_statement(statement, trace)
+
+    def _run_statement(self, statement: prog_ast.Statement, trace: ExecutionTrace) -> None:
+        if isinstance(statement, prog_ast.Assignment):
+            trace.values[statement.name] = evaluate(statement.expression, trace.values)
+            return
+        if isinstance(statement, prog_ast.IfStatement):
+            if self._evaluate_condition(statement.condition, trace.values):
+                self._run_block(statement.then_body, trace)
+            else:
+                self._run_block(statement.else_body, trace)
+            return
+        if isinstance(statement, prog_ast.WhileStatement):
+            iterations = 0
+            while self._evaluate_condition(statement.condition, trace.values):
+                if iterations >= self._loop_bound:
+                    trace.hit_bound = True
+                    break
+                self._run_block(statement.body, trace)
+                iterations += 1
+            return
+        if isinstance(statement, prog_ast.ObserveStatement):
+            trace.events.append(statement.event)
+            return
+        if isinstance(statement, prog_ast.AssertStatement):
+            if not self._evaluate_condition(statement.condition, trace.values):
+                trace.events.append(ASSERTION_VIOLATION_EVENT)
+            return
+        if isinstance(statement, (prog_ast.SkipStatement, prog_ast.InputDeclaration)):
+            return
+        raise SymbolicExecutionError(f"unknown statement type {type(statement).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Condition evaluation
+    # ------------------------------------------------------------------ #
+    def _evaluate_condition(self, condition: prog_ast.Condition, values: Mapping[str, float]) -> bool:
+        if isinstance(condition, prog_ast.Comparison):
+            return holds(condition.constraint, values)
+        if isinstance(condition, prog_ast.BooleanAnd):
+            return self._evaluate_condition(condition.left, values) and self._evaluate_condition(
+                condition.right, values
+            )
+        if isinstance(condition, prog_ast.BooleanOr):
+            return self._evaluate_condition(condition.left, values) or self._evaluate_condition(
+                condition.right, values
+            )
+        if isinstance(condition, prog_ast.BooleanNot):
+            return not self._evaluate_condition(condition.operand, values)
+        raise SymbolicExecutionError(f"unknown condition type {type(condition).__name__}")
+
+
+def run_program(program: prog_ast.Program, inputs: Mapping[str, float], loop_bound: int = 1000) -> ExecutionTrace:
+    """Convenience wrapper: interpret ``program`` on ``inputs``."""
+    return ConcreteInterpreter(program, loop_bound).run(inputs)

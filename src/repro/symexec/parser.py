@@ -1,0 +1,258 @@
+"""Parser of the mini imperative language.
+
+Grammar (informal)::
+
+    program    := input_decl* statement*
+    input_decl := 'input' IDENT 'in' '[' expr ',' expr ']' ';'
+    statement  := assignment | if | while | observe | assert | skip
+    assignment := IDENT '=' expr ';'
+    if         := 'if' '(' condition ')' block ('else' (block | if))?
+    while      := 'while' '(' condition ')' block
+    observe    := 'observe' '(' IDENT ')' ';'     -- the event name
+    assert     := 'assert' '(' condition ')' ';'
+    skip       := 'skip' ';'
+    block      := '{' statement* '}'
+    condition  := disjunct ('||' disjunct)*
+    disjunct   := atom ('&&' atom)*
+    atom       := '!' atom | '(' condition ')'* | expr comparison expr
+
+Arithmetic expressions reuse the constraint-language grammar, so every math
+function accepted in path conditions is accepted in programs too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.lang import ast as expr_ast
+from repro.lang.lexer import IDENT, KEYWORD, NUMBER, OPERATOR, PUNCT, TokenStream, tokenize
+from repro.symexec import ast as prog_ast
+
+_KEYWORDS = {"input", "in", "if", "else", "while", "observe", "assert", "skip", "true", "false"}
+_COMPARISONS = set(expr_ast.COMPARISON_OPERATORS)
+
+
+class ProgramParser:
+    """Recursive-descent parser for the mini language."""
+
+    def __init__(self, source: str, name: str = "") -> None:
+        self._stream = TokenStream(tokenize(source, keywords=_KEYWORDS))
+        self._name = name
+
+    def parse_program(self) -> prog_ast.Program:
+        """Parse a full program: input declarations followed by the body."""
+        inputs: List[prog_ast.InputDeclaration] = []
+        while self._stream.check(KEYWORD, "input"):
+            inputs.append(self._input_declaration())
+        body: List[prog_ast.Statement] = []
+        while not self._stream.at_end():
+            body.append(self._statement())
+        if not inputs:
+            token = self._stream.peek()
+            raise ParseError("a program needs at least one input declaration", token.line, token.column)
+        return prog_ast.Program(tuple(inputs), tuple(body), self._name)
+
+    # ------------------------------------------------------------------ #
+    # Declarations and statements
+    # ------------------------------------------------------------------ #
+    def _input_declaration(self) -> prog_ast.InputDeclaration:
+        self._stream.expect(KEYWORD, "input")
+        name = self._stream.expect(IDENT).text
+        self._stream.expect(KEYWORD, "in")
+        self._stream.expect(PUNCT, "[")
+        low = self._signed_number()
+        self._stream.expect(PUNCT, ",")
+        high = self._signed_number()
+        self._stream.expect(PUNCT, "]")
+        self._stream.expect(PUNCT, ";")
+        if low > high:
+            raise ParseError(f"input {name!r} has an empty domain [{low}, {high}]")
+        return prog_ast.InputDeclaration(name, low, high)
+
+    def _signed_number(self) -> float:
+        sign = 1.0
+        while self._stream.check(OPERATOR, "-") or self._stream.check(OPERATOR, "+"):
+            if self._stream.advance().text == "-":
+                sign = -sign
+        token = self._stream.expect(NUMBER)
+        return sign * float(token.text)
+
+    def _statement(self) -> prog_ast.Statement:
+        token = self._stream.peek()
+        if token.matches(KEYWORD, "if"):
+            return self._if_statement()
+        if token.matches(KEYWORD, "while"):
+            return self._while_statement()
+        if token.matches(KEYWORD, "observe"):
+            return self._observe_statement()
+        if token.matches(KEYWORD, "assert"):
+            return self._assert_statement()
+        if token.matches(KEYWORD, "skip"):
+            self._stream.advance()
+            self._stream.expect(PUNCT, ";")
+            return prog_ast.SkipStatement()
+        if token.kind == IDENT:
+            return self._assignment()
+        raise ParseError(f"unexpected token {token.text!r}", token.line, token.column)
+
+    def _assignment(self) -> prog_ast.Assignment:
+        name = self._stream.expect(IDENT).text
+        self._stream.expect(OPERATOR, "=")
+        expression = self._expression()
+        self._stream.expect(PUNCT, ";")
+        return prog_ast.Assignment(name, expression)
+
+    def _if_statement(self) -> prog_ast.IfStatement:
+        self._stream.expect(KEYWORD, "if")
+        self._stream.expect(PUNCT, "(")
+        condition = self._condition()
+        self._stream.expect(PUNCT, ")")
+        then_body = self._block()
+        else_body: Tuple[prog_ast.Statement, ...] = ()
+        if self._stream.accept(KEYWORD, "else"):
+            if self._stream.check(KEYWORD, "if"):
+                else_body = (self._if_statement(),)
+            else:
+                else_body = self._block()
+        return prog_ast.IfStatement(condition, then_body, else_body)
+
+    def _while_statement(self) -> prog_ast.WhileStatement:
+        self._stream.expect(KEYWORD, "while")
+        self._stream.expect(PUNCT, "(")
+        condition = self._condition()
+        self._stream.expect(PUNCT, ")")
+        body = self._block()
+        return prog_ast.WhileStatement(condition, body)
+
+    def _observe_statement(self) -> prog_ast.ObserveStatement:
+        self._stream.expect(KEYWORD, "observe")
+        self._stream.expect(PUNCT, "(")
+        event = self._stream.expect(IDENT).text
+        self._stream.expect(PUNCT, ")")
+        self._stream.expect(PUNCT, ";")
+        return prog_ast.ObserveStatement(event)
+
+    def _assert_statement(self) -> prog_ast.AssertStatement:
+        self._stream.expect(KEYWORD, "assert")
+        self._stream.expect(PUNCT, "(")
+        condition = self._condition()
+        self._stream.expect(PUNCT, ")")
+        self._stream.expect(PUNCT, ";")
+        return prog_ast.AssertStatement(condition)
+
+    def _block(self) -> Tuple[prog_ast.Statement, ...]:
+        self._stream.expect(PUNCT, "{")
+        statements: List[prog_ast.Statement] = []
+        while not self._stream.check(PUNCT, "}"):
+            statements.append(self._statement())
+        self._stream.expect(PUNCT, "}")
+        return tuple(statements)
+
+    # ------------------------------------------------------------------ #
+    # Conditions and expressions
+    # ------------------------------------------------------------------ #
+    def _condition(self) -> prog_ast.Condition:
+        condition = self._conjunction()
+        while self._stream.accept(OPERATOR, "||"):
+            condition = prog_ast.BooleanOr(condition, self._conjunction())
+        return condition
+
+    def _conjunction(self) -> prog_ast.Condition:
+        condition = self._condition_atom()
+        while self._stream.accept(OPERATOR, "&&"):
+            condition = prog_ast.BooleanAnd(condition, self._condition_atom())
+        return condition
+
+    def _condition_atom(self) -> prog_ast.Condition:
+        if self._stream.accept(OPERATOR, "!"):
+            return prog_ast.BooleanNot(self._condition_atom())
+        # A parenthesis can open either a nested condition or an arithmetic
+        # sub-expression; try the condition first and fall back on failure.
+        if self._stream.check(PUNCT, "("):
+            saved = self._stream
+            import copy
+
+            snapshot = copy.deepcopy(self._stream)
+            try:
+                self._stream.expect(PUNCT, "(")
+                condition = self._condition()
+                self._stream.expect(PUNCT, ")")
+                return condition
+            except ParseError:
+                self._stream = snapshot
+        return self._comparison()
+
+    def _comparison(self) -> prog_ast.Comparison:
+        left = self._expression()
+        token = self._stream.peek()
+        if token.kind != OPERATOR or token.text not in _COMPARISONS:
+            raise ParseError(
+                f"expected a comparison operator, found {token.text!r}", token.line, token.column
+            )
+        self._stream.advance()
+        right = self._expression()
+        return prog_ast.Comparison(expr_ast.Constraint(token.text, left, right))
+
+    def _expression(self) -> expr_ast.Expression:
+        return self._additive()
+
+    def _additive(self) -> expr_ast.Expression:
+        node = self._multiplicative()
+        while True:
+            if self._stream.accept(OPERATOR, "+"):
+                node = expr_ast.BinaryOp("+", node, self._multiplicative())
+            elif self._stream.accept(OPERATOR, "-"):
+                node = expr_ast.BinaryOp("-", node, self._multiplicative())
+            else:
+                return node
+
+    def _multiplicative(self) -> expr_ast.Expression:
+        node = self._unary()
+        while True:
+            if self._stream.accept(OPERATOR, "*"):
+                node = expr_ast.BinaryOp("*", node, self._unary())
+            elif self._stream.accept(OPERATOR, "/"):
+                node = expr_ast.BinaryOp("/", node, self._unary())
+            else:
+                return node
+
+    def _unary(self) -> expr_ast.Expression:
+        if self._stream.accept(OPERATOR, "-"):
+            return expr_ast.UnaryOp("-", self._unary())
+        if self._stream.accept(OPERATOR, "+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> expr_ast.Expression:
+        token = self._stream.peek()
+        if token.kind == NUMBER:
+            self._stream.advance()
+            return expr_ast.Constant(float(token.text))
+        if token.kind == IDENT:
+            self._stream.advance()
+            if self._stream.check(PUNCT, "("):
+                return self._call(token.text)
+            return expr_ast.Variable(token.text)
+        if token.matches(PUNCT, "("):
+            self._stream.advance()
+            expression = self._expression()
+            self._stream.expect(PUNCT, ")")
+            return expression
+        raise ParseError(f"unexpected token {token.text!r} in expression", token.line, token.column)
+
+    def _call(self, name: str) -> expr_ast.FunctionCall:
+        normalized = name[5:] if name.startswith("Math.") else name
+        self._stream.expect(PUNCT, "(")
+        arguments: List[expr_ast.Expression] = []
+        if not self._stream.check(PUNCT, ")"):
+            arguments.append(self._expression())
+            while self._stream.accept(PUNCT, ","):
+                arguments.append(self._expression())
+        self._stream.expect(PUNCT, ")")
+        return expr_ast.FunctionCall(normalized.lower(), tuple(arguments))
+
+
+def parse_program(source: str, name: str = "") -> prog_ast.Program:
+    """Parse a mini-language program from text."""
+    return ProgramParser(source, name).parse_program()

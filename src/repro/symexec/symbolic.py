@@ -1,0 +1,295 @@
+"""Bounded symbolic execution of mini-language programs (the SPF substitute).
+
+The executor explores every feasible program path up to a branch-depth bound,
+building for each path a :class:`~repro.lang.ast.PathCondition` over the input
+variables together with the set of target events observed on that path.  The
+path conditions are pairwise disjoint by construction — every fork adds a
+constraint to one path and its negation to the other — which is the property
+qCORAL's disjunction rule (Equations 4–6) relies on.
+
+Loops are unrolled; a path that exceeds the bound is flagged ``hit_bound`` and
+reported separately, mirroring the paper's treatment of bounded symbolic
+execution (Section 3.1): bounded paths are excluded from ``PC^T`` but their
+total probability can be quantified as a confidence measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SymbolicExecutionError
+from repro.icp.hc4 import constraint_certainly_fails
+from repro.intervals.box import Box
+from repro.lang import ast as expr_ast
+from repro.lang.simplify import simplify_constraint
+from repro.lang.substitution import substitute, substitute_constraint
+from repro.symexec import ast as prog_ast
+from repro.symexec.ast import ASSERTION_VIOLATION_EVENT
+
+
+@dataclass(frozen=True)
+class SymbolicPath:
+    """One explored path: its condition, observed events, and bound status."""
+
+    condition: expr_ast.PathCondition
+    events: Tuple[str, ...]
+    hit_bound: bool = False
+
+    def observed(self, event: str) -> bool:
+        """True when the target event occurs on this path."""
+        return event in self.events
+
+
+@dataclass(frozen=True)
+class SymbolicExecutionResult:
+    """All paths produced by one symbolic execution run."""
+
+    program: prog_ast.Program
+    paths: Tuple[SymbolicPath, ...]
+    truncated: bool = False
+
+    @property
+    def path_count(self) -> int:
+        """Number of explored (non-bounded) paths."""
+        return len(self.paths)
+
+    def events(self) -> Tuple[str, ...]:
+        """Every event name observed on some path, sorted."""
+        names: Set[str] = set()
+        for path in self.paths:
+            names.update(path.events)
+        return tuple(sorted(names))
+
+    def constraint_set_for(self, event: str) -> expr_ast.ConstraintSet:
+        """The set ``PC^T``: conditions of complete paths observing ``event``."""
+        selected = [
+            path.condition for path in self.paths if path.observed(event) and not path.hit_bound
+        ]
+        return expr_ast.ConstraintSet.of(selected, name=event)
+
+    def constraint_set_against(self, event: str) -> expr_ast.ConstraintSet:
+        """The set ``PC^F``: conditions of complete paths *not* observing ``event``."""
+        selected = [
+            path.condition for path in self.paths if not path.observed(event) and not path.hit_bound
+        ]
+        return expr_ast.ConstraintSet.of(selected, name=f"not:{event}")
+
+    def bounded_constraint_set(self) -> expr_ast.ConstraintSet:
+        """Conditions of paths that hit the execution bound (confidence measure)."""
+        selected = [path.condition for path in self.paths if path.hit_bound]
+        return expr_ast.ConstraintSet.of(selected, name="bounded")
+
+
+@dataclass
+class _State:
+    """Mutable per-path execution state (cloned at every fork)."""
+
+    environment: Dict[str, expr_ast.Expression]
+    condition: List[expr_ast.Constraint]
+    events: List[str]
+    decisions: int = 0
+    hit_bound: bool = False
+
+    def clone(self) -> "_State":
+        return _State(
+            environment=dict(self.environment),
+            condition=list(self.condition),
+            events=list(self.events),
+            decisions=self.decisions,
+            hit_bound=self.hit_bound,
+        )
+
+
+class SymbolicExecutor:
+    """Explores program paths and collects path conditions per target event."""
+
+    def __init__(
+        self,
+        program: prog_ast.Program,
+        max_depth: int = 50,
+        max_paths: int = 100_000,
+        prune_infeasible: bool = True,
+    ) -> None:
+        if max_depth < 1:
+            raise SymbolicExecutionError("max_depth must be at least 1")
+        if max_paths < 1:
+            raise SymbolicExecutionError("max_paths must be at least 1")
+        self._program = program
+        self._max_depth = max_depth
+        self._max_paths = max_paths
+        self._prune_infeasible = prune_infeasible
+        self._domain = Box.from_bounds(program.input_bounds())
+        self._truncated = False
+
+    def execute(self) -> SymbolicExecutionResult:
+        """Run bounded symbolic execution and return every explored path."""
+        import sys
+
+        # Path exploration recurses once per executed statement; long unrolled
+        # loops need more head-room than CPython's default limit.
+        sys.setrecursionlimit(max(sys.getrecursionlimit(), 20_000))
+        self._truncated = False
+        initial = _State(
+            environment={name: expr_ast.Variable(name) for name in self._program.input_names()},
+            condition=[],
+            events=[],
+        )
+        finished: List[SymbolicPath] = []
+        self._execute_block(self._program.body, 0, initial, finished)
+        return SymbolicExecutionResult(self._program, tuple(finished), truncated=self._truncated)
+
+    # ------------------------------------------------------------------ #
+    # Statement execution (continuation-passing over the statement list)
+    # ------------------------------------------------------------------ #
+    def _execute_block(
+        self,
+        statements: Sequence[prog_ast.Statement],
+        index: int,
+        state: _State,
+        finished: List[SymbolicPath],
+        continuation: Tuple[Tuple[Sequence[prog_ast.Statement], int], ...] = (),
+    ) -> None:
+        if len(finished) >= self._max_paths:
+            self._truncated = True
+            return
+        while index >= len(statements):
+            if not continuation:
+                finished.append(self._finish(state))
+                return
+            (statements, index), continuation = continuation[0], continuation[1:]
+
+        statement = statements[index]
+
+        if isinstance(statement, prog_ast.Assignment):
+            state.environment[statement.name] = substitute(statement.expression, state.environment)
+            self._execute_block(statements, index + 1, state, finished, continuation)
+            return
+
+        if isinstance(statement, (prog_ast.SkipStatement, prog_ast.InputDeclaration)):
+            self._execute_block(statements, index + 1, state, finished, continuation)
+            return
+
+        if isinstance(statement, prog_ast.ObserveStatement):
+            state.events.append(statement.event)
+            self._execute_block(statements, index + 1, state, finished, continuation)
+            return
+
+        if isinstance(statement, prog_ast.AssertStatement):
+            for branch_state, truth in self._branch(statement.condition, state):
+                if not truth:
+                    branch_state.events.append(ASSERTION_VIOLATION_EVENT)
+                self._execute_block(statements, index + 1, branch_state, finished, continuation)
+            return
+
+        if isinstance(statement, prog_ast.IfStatement):
+            for branch_state, truth in self._branch(statement.condition, state):
+                body = statement.then_body if truth else statement.else_body
+                rest = ((statements, index + 1),) + continuation
+                self._execute_block(body, 0, branch_state, finished, rest)
+            return
+
+        if isinstance(statement, prog_ast.WhileStatement):
+            self._execute_loop(statement, statements, index, state, finished, continuation)
+            return
+
+        raise SymbolicExecutionError(f"unknown statement type {type(statement).__name__}")
+
+    def _execute_loop(
+        self,
+        loop: prog_ast.WhileStatement,
+        statements: Sequence[prog_ast.Statement],
+        index: int,
+        state: _State,
+        finished: List[SymbolicPath],
+        continuation: Tuple[Tuple[Sequence[prog_ast.Statement], int], ...],
+    ) -> None:
+        for branch_state, truth in self._branch(loop.condition, state):
+            if not truth:
+                # Loop exit: continue with the statement after the loop.
+                self._execute_block(statements, index + 1, branch_state, finished, continuation)
+                continue
+            if branch_state.decisions >= self._max_depth:
+                branch_state.hit_bound = True
+                finished.append(self._finish(branch_state))
+                continue
+            # Loop entry: run the body, then re-evaluate the loop.
+            rest = ((statements, index),) + continuation
+            self._execute_block(loop.body, 0, branch_state, finished, rest)
+
+    def _finish(self, state: _State) -> SymbolicPath:
+        return SymbolicPath(
+            condition=expr_ast.PathCondition.of(state.condition),
+            events=tuple(state.events),
+            hit_bound=state.hit_bound,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Condition branching (short-circuit forking keeps paths disjoint)
+    # ------------------------------------------------------------------ #
+    def _branch(self, condition: prog_ast.Condition, state: _State) -> List[Tuple[_State, bool]]:
+        if state.decisions >= self._max_depth:
+            # The branch-depth bound was hit: stop adding constraints on this
+            # path and flag it so it is excluded from PC^T (paper Section 3.1).
+            state.hit_bound = True
+            return [(state, False)]
+        if isinstance(condition, prog_ast.Comparison):
+            return self._branch_comparison(condition.constraint, state)
+        if isinstance(condition, prog_ast.BooleanNot):
+            return [(branch_state, not truth) for branch_state, truth in self._branch(condition.operand, state)]
+        if isinstance(condition, prog_ast.BooleanAnd):
+            outcomes: List[Tuple[_State, bool]] = []
+            for branch_state, truth in self._branch(condition.left, state):
+                if not truth:
+                    outcomes.append((branch_state, False))
+                else:
+                    outcomes.extend(self._branch(condition.right, branch_state))
+            return outcomes
+        if isinstance(condition, prog_ast.BooleanOr):
+            outcomes = []
+            for branch_state, truth in self._branch(condition.left, state):
+                if truth:
+                    outcomes.append((branch_state, True))
+                else:
+                    outcomes.extend(self._branch(condition.right, branch_state))
+            return outcomes
+        raise SymbolicExecutionError(f"unknown condition type {type(condition).__name__}")
+
+    def _branch_comparison(
+        self, constraint: expr_ast.Constraint, state: _State
+    ) -> List[Tuple[_State, bool]]:
+        concrete = simplify_constraint(substitute_constraint(constraint, state.environment))
+        outcomes: List[Tuple[_State, bool]] = []
+        for truth, branch_constraint in ((True, concrete), (False, concrete.negate())):
+            if self._is_trivially_decided(branch_constraint) is False:
+                continue
+            if self._prune_infeasible and branch_constraint.free_variables() and constraint_certainly_fails(
+                branch_constraint, self._domain
+            ):
+                continue
+            branch_state = state.clone()
+            branch_state.decisions += 1
+            if branch_constraint.free_variables():
+                branch_state.condition.append(branch_constraint)
+            outcomes.append((branch_state, truth))
+        return outcomes
+
+    @staticmethod
+    def _is_trivially_decided(constraint: expr_ast.Constraint) -> Optional[bool]:
+        """True/False for variable-free constraints, True (keep) otherwise."""
+        if constraint.free_variables():
+            return True
+        from repro.lang.evaluator import holds
+
+        return True if holds(constraint, {}) else False
+
+
+def execute_program(
+    program: prog_ast.Program,
+    max_depth: int = 50,
+    max_paths: int = 100_000,
+    prune_infeasible: bool = True,
+) -> SymbolicExecutionResult:
+    """Convenience wrapper: symbolically execute ``program``."""
+    executor = SymbolicExecutor(program, max_depth, max_paths, prune_infeasible)
+    return executor.execute()

@@ -1,0 +1,130 @@
+"""Unit tests for the Estimate algebra (Equations 2–8 of the paper)."""
+
+import math
+
+import pytest
+
+from repro.core.estimate import Estimate, product_independent, sum_disjoint
+
+
+class TestConstruction:
+    def test_from_hits_mean_and_variance(self):
+        estimate = Estimate.from_hits(25, 100)
+        assert estimate.mean == pytest.approx(0.25)
+        assert estimate.variance == pytest.approx(0.25 * 0.75 / 100)
+
+    def test_from_hits_extremes(self):
+        assert Estimate.from_hits(0, 50).variance == 0.0
+        assert Estimate.from_hits(50, 50).variance == 0.0
+
+    def test_from_hits_invalid(self):
+        with pytest.raises(ValueError):
+            Estimate.from_hits(5, 0)
+        with pytest.raises(ValueError):
+            Estimate.from_hits(11, 10)
+        with pytest.raises(ValueError):
+            Estimate.from_hits(-1, 10)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Estimate(math.nan, 0.0)
+
+    def test_negative_variance_clamped(self):
+        assert Estimate(0.5, -1e-18).variance == 0.0
+
+    def test_zero_and_one(self):
+        assert Estimate.zero().mean == 0.0 and Estimate.zero().variance == 0.0
+        assert Estimate.one().mean == 1.0 and Estimate.one().variance == 0.0
+
+    def test_std(self):
+        assert Estimate(0.5, 0.04).std == pytest.approx(0.2)
+
+
+class TestChebyshev:
+    def test_interval_contains_mean(self):
+        lower, upper = Estimate(0.4, 0.001).chebyshev_interval(0.95)
+        assert lower <= 0.4 <= upper
+
+    def test_interval_clipped_to_unit(self):
+        lower, upper = Estimate(0.99, 0.01).chebyshev_interval(0.99)
+        assert 0.0 <= lower and upper <= 1.0
+
+    def test_zero_variance_gives_point(self):
+        assert Estimate(0.3, 0.0).chebyshev_interval() == (0.3, 0.3)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            Estimate(0.5, 0.1).chebyshev_interval(1.5)
+
+    def test_clamped(self):
+        assert Estimate(1.2, 0.1).clamped().mean == 1.0
+        assert Estimate(-0.1, 0.1).clamped().mean == 0.0
+
+
+class TestComposition:
+    def test_scale_mean_linear_variance_quadratic(self):
+        scaled = Estimate(0.5, 0.01).scale(0.5)
+        assert scaled.mean == pytest.approx(0.25)
+        assert scaled.variance == pytest.approx(0.0025)
+
+    def test_scale_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Estimate(0.5, 0.1).scale(-1.0)
+
+    def test_add_disjoint_equations_5_and_6(self):
+        combined = Estimate(0.2, 0.001).add_disjoint(Estimate(0.3, 0.002))
+        assert combined.mean == pytest.approx(0.5)
+        assert combined.variance == pytest.approx(0.003)
+
+    def test_multiply_independent_equations_7_and_8(self):
+        a = Estimate(0.4, 0.001)
+        b = Estimate(0.5, 0.002)
+        combined = a.multiply_independent(b)
+        assert combined.mean == pytest.approx(0.2)
+        expected_variance = 0.4 ** 2 * 0.002 + 0.5 ** 2 * 0.001 + 0.001 * 0.002
+        assert combined.variance == pytest.approx(expected_variance)
+
+    def test_multiply_by_certain_event_is_identity(self):
+        a = Estimate(0.37, 0.004)
+        product = a.multiply_independent(Estimate.one())
+        assert product.mean == pytest.approx(a.mean)
+        assert product.variance == pytest.approx(a.variance)
+
+    def test_multiply_by_impossible_event_is_zero(self):
+        product = Estimate(0.37, 0.004).multiply_independent(Estimate.zero())
+        assert product.mean == 0.0
+
+    def test_sum_disjoint_fold(self):
+        total = sum_disjoint([Estimate(0.1, 0.001)] * 3)
+        assert total.mean == pytest.approx(0.3)
+        assert total.variance == pytest.approx(0.003)
+
+    def test_sum_disjoint_empty(self):
+        assert sum_disjoint([]).mean == 0.0
+
+    def test_product_independent_fold(self):
+        product = product_independent([Estimate(0.5, 0.0), Estimate(0.5, 0.0), Estimate(0.5, 0.0)])
+        assert product.mean == pytest.approx(0.125)
+        assert product.variance == 0.0
+
+    def test_product_independent_empty_is_one(self):
+        assert product_independent([]).mean == 1.0
+
+    def test_product_matches_pairwise_composition_order_invariance(self):
+        estimates = [Estimate(0.3, 0.002), Estimate(0.7, 0.001), Estimate(0.5, 0.004)]
+        forward = product_independent(estimates)
+        backward = product_independent(list(reversed(estimates)))
+        assert forward.mean == pytest.approx(backward.mean)
+        assert forward.variance == pytest.approx(backward.variance)
+
+    def test_paper_section_44_composition(self):
+        """Reproduce the composition worked out in the paper's Section 4.4."""
+        altitude_le_9000 = Estimate(0.45, 0.0)
+        sin_constraint = Estimate(0.417975, 8.103406e-6)
+        pc2 = altitude_le_9000.multiply_independent(sin_constraint)
+        assert pc2.mean == pytest.approx(0.188089, abs=1e-6)
+        assert pc2.variance == pytest.approx(1.64094e-6, rel=1e-3)
+        pc1 = Estimate(0.55, 0.0)
+        total = pc1.add_disjoint(pc2)
+        assert total.mean == pytest.approx(0.738089, abs=1e-6)
+        assert total.variance == pytest.approx(1.64094e-6, rel=1e-3)

@@ -1,0 +1,312 @@
+"""Unit tests for the interval-arithmetic substrate."""
+
+import math
+
+import pytest
+
+from repro.errors import DomainError, EmptyIntervalError, IntervalError
+from repro.intervals import EMPTY, ENTIRE, Box, Interval
+from repro.intervals import functions as ifn
+
+
+class TestIntervalBasics:
+    def test_make_orders_are_preserved(self):
+        iv = Interval.make(-1, 2)
+        assert iv.lo == -1.0
+        assert iv.hi == 2.0
+
+    def test_point_interval(self):
+        iv = Interval.point(3.5)
+        assert iv.is_point()
+        assert iv.contains(3.5)
+        assert iv.width() == 0.0
+
+    def test_nan_bounds_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval.make(math.nan, 1.0)
+
+    def test_empty_properties(self):
+        assert EMPTY.is_empty()
+        assert not EMPTY.contains(0.0)
+        assert EMPTY.width() == 0.0
+
+    def test_entire_is_unbounded(self):
+        assert not ENTIRE.is_bounded()
+        assert ENTIRE.contains(1e300)
+
+    def test_hull_of_values(self):
+        iv = Interval.hull_of([3.0, -1.0, 2.0])
+        assert iv.lo == -1.0 and iv.hi == 3.0
+
+    def test_hull_of_empty_iterable_is_empty(self):
+        assert Interval.hull_of([]).is_empty()
+
+    def test_midpoint_and_radius(self):
+        iv = Interval.make(2.0, 6.0)
+        assert iv.midpoint() == 4.0
+        assert iv.radius() == 2.0
+
+    def test_midpoint_of_empty_raises(self):
+        with pytest.raises(EmptyIntervalError):
+            EMPTY.midpoint()
+
+    def test_magnitude_and_mignitude(self):
+        iv = Interval.make(-3.0, 2.0)
+        assert iv.magnitude() == 3.0
+        assert iv.mignitude() == 0.0
+        assert Interval.make(1.0, 4.0).mignitude() == 1.0
+
+    def test_contains_interval(self):
+        outer = Interval.make(0, 10)
+        inner = Interval.make(2, 3)
+        assert outer.contains_interval(inner)
+        assert not inner.contains_interval(outer)
+        assert outer.contains_interval(EMPTY)
+
+    def test_overlaps(self):
+        assert Interval.make(0, 2).overlaps(Interval.make(1, 3))
+        assert not Interval.make(0, 1).overlaps(Interval.make(2, 3))
+
+    def test_clamp(self):
+        iv = Interval.make(0, 1)
+        assert iv.clamp(-5) == 0.0
+        assert iv.clamp(0.5) == 0.5
+        assert iv.clamp(7) == 1.0
+
+    def test_split_default_midpoint(self):
+        low, high = Interval.make(0, 4).split()
+        assert low.hi == high.lo == 2.0
+
+    def test_split_outside_point_raises(self):
+        with pytest.raises(IntervalError):
+            Interval.make(0, 1).split(5.0)
+
+    def test_sample_points_cover_bounds(self):
+        points = list(Interval.make(0, 1).sample_points(5))
+        assert points[0] == 0.0 and points[-1] == 1.0 and len(points) == 5
+
+
+class TestIntervalArithmetic:
+    def test_addition_encloses(self):
+        result = Interval.make(1, 2) + Interval.make(3, 4)
+        assert result.lo <= 4.0 <= result.hi
+        assert result.lo <= 6.0 <= result.hi
+
+    def test_addition_with_scalar(self):
+        result = Interval.make(1, 2) + 1
+        assert result.contains(2.0) and result.contains(3.0)
+
+    def test_subtraction(self):
+        result = Interval.make(1, 2) - Interval.make(0.5, 1.0)
+        assert result.contains(0.0) and result.contains(1.5)
+
+    def test_negation(self):
+        result = -Interval.make(1, 2)
+        assert result.contains(-1.5)
+
+    def test_multiplication_signs(self):
+        result = Interval.make(-2, 3) * Interval.make(-1, 4)
+        assert result.contains(-8.0) and result.contains(12.0) and result.contains(2.0)
+
+    def test_multiplication_zero_times_infinite(self):
+        result = Interval.point(0.0) * ENTIRE
+        assert result.contains(0.0)
+
+    def test_division_by_positive(self):
+        result = Interval.make(1, 2) / Interval.make(2, 4)
+        assert result.contains(0.25) and result.contains(1.0)
+
+    def test_division_by_interval_containing_zero_is_entire(self):
+        assert (Interval.make(1, 2) / Interval.make(-1, 1)) == ENTIRE
+
+    def test_division_by_zero_point(self):
+        assert (Interval.make(1, 2) / Interval.point(0.0)).is_empty()
+
+    def test_abs(self):
+        assert abs(Interval.make(-3, 2)) == Interval(0.0, 3.0)
+        assert abs(Interval.make(-5, -2)) == Interval(2.0, 5.0)
+
+    def test_sqr_tighter_than_product_around_zero(self):
+        iv = Interval.make(-2, 3)
+        assert iv.sqr().lo >= 0.0
+        assert iv.sqr().contains(0.0) and iv.sqr().contains(9.0)
+
+    def test_empty_propagates(self):
+        assert (EMPTY + Interval.make(0, 1)).is_empty()
+        assert (Interval.make(0, 1) * EMPTY).is_empty()
+
+    def test_intersect_and_hull(self):
+        a, b = Interval.make(0, 2), Interval.make(1, 3)
+        assert a.intersect(b) == Interval(1.0, 2.0)
+        assert a.hull(b) == Interval(0.0, 3.0)
+        assert a.intersect(Interval.make(5, 6)).is_empty()
+
+    def test_inflate(self):
+        assert Interval.make(0, 1).inflate(0.5) == Interval(-0.5, 1.5)
+        with pytest.raises(IntervalError):
+            Interval.make(0, 1).inflate(-1)
+
+
+class TestIntervalFunctions:
+    def test_exp_monotone(self):
+        result = ifn.interval_exp(Interval.make(0, 1))
+        assert result.contains(1.0) and result.contains(math.e)
+
+    def test_exp_overflow_saturates(self):
+        result = ifn.interval_exp(Interval.make(0, 1e9))
+        assert result.hi == math.inf
+
+    def test_log_of_nonpositive_is_empty(self):
+        assert ifn.interval_log(Interval.make(-2, -1)).is_empty()
+
+    def test_log_spanning_zero(self):
+        result = ifn.interval_log(Interval.make(0, math.e))
+        assert result.lo == -math.inf and result.contains(1.0)
+
+    def test_sqrt_clips_negative_part(self):
+        result = ifn.interval_sqrt(Interval.make(-1, 4))
+        assert result.lo >= 0.0 and result.contains(2.0)
+
+    def test_sqrt_of_negative_is_empty(self):
+        assert ifn.interval_sqrt(Interval.make(-4, -1)).is_empty()
+
+    def test_sin_small_interval(self):
+        result = ifn.interval_sin(Interval.make(0.1, 0.2))
+        assert result.contains(math.sin(0.15))
+        assert result.hi <= math.sin(0.2) + 1e-9
+
+    def test_sin_captures_maximum(self):
+        result = ifn.interval_sin(Interval.make(0, math.pi))
+        assert result.hi >= 1.0 - 1e-12
+
+    def test_sin_wide_interval_is_unit(self):
+        assert ifn.interval_sin(Interval.make(0, 100)) == Interval(-1.0, 1.0)
+
+    def test_cos_captures_minimum(self):
+        result = ifn.interval_cos(Interval.make(3.0, 3.5))
+        assert result.lo <= -1.0 + 1e-9 or result.contains(math.cos(math.pi))
+
+    def test_tan_across_pole_is_entire(self):
+        assert ifn.interval_tan(Interval.make(1.5, 1.7)) == ENTIRE
+
+    def test_tan_within_branch(self):
+        result = ifn.interval_tan(Interval.make(0.1, 0.3))
+        assert result.contains(math.tan(0.2))
+
+    def test_atan2_simple_quadrant(self):
+        result = ifn.interval_atan2(Interval.make(1, 2), Interval.make(1, 2))
+        assert result.contains(math.atan2(1.5, 1.5))
+
+    def test_atan2_containing_origin_is_full_range(self):
+        result = ifn.interval_atan2(Interval.make(-1, 1), Interval.make(-1, 1))
+        assert result.lo <= -math.pi + 1e-9 and result.hi >= math.pi - 1e-9
+
+    def test_integer_power_even(self):
+        result = ifn.integer_power(Interval.make(-2, 3), 2)
+        assert result.lo <= 0.0 <= result.lo + 1e-12
+        assert result.contains(9.0)
+
+    def test_integer_power_odd_preserves_sign(self):
+        result = ifn.integer_power(Interval.make(-2, 3), 3)
+        assert result.contains(-8.0) and result.contains(27.0)
+
+    def test_pow_non_integer_exponent_positive_base(self):
+        result = ifn.interval_pow(Interval.make(1, 4), Interval.point(0.5))
+        assert result.contains(1.0) and result.contains(2.0)
+
+    def test_pow_negative_base_non_integer_is_empty(self):
+        assert ifn.interval_pow(Interval.make(-4, -1), Interval.point(0.5)).is_empty()
+
+    def test_min_max(self):
+        a, b = Interval.make(0, 5), Interval.make(2, 3)
+        assert ifn.interval_min(a, b) == Interval(0.0, 3.0)
+        assert ifn.interval_max(a, b) == Interval(2.0, 5.0)
+
+    def test_apply_function_dispatch(self):
+        assert ifn.apply_function("sqrt", [Interval.make(4, 9)]).contains(2.5)
+        assert ifn.apply_function("max", [Interval.point(1), Interval.point(2)]).contains(2.0)
+
+    def test_apply_function_arity_error(self):
+        with pytest.raises(IntervalError):
+            ifn.apply_function("sqrt", [Interval.point(1), Interval.point(2)])
+
+    def test_supported_functions_contains_paper_vocabulary(self):
+        names = set(ifn.supported_functions())
+        assert {"sin", "cos", "tan", "sqrt", "pow", "atan2"} <= names
+
+
+class TestBox:
+    def test_from_bounds_and_volume(self):
+        box = Box.from_bounds({"x": (0, 2), "y": (0, 3)})
+        assert box.volume() == 6.0
+        assert set(box.variables) == {"x", "y"}
+
+    def test_empty_box(self):
+        box = Box.empty(["x"])
+        assert box.is_empty()
+        assert box.volume() == 0.0
+
+    def test_interval_lookup_error(self):
+        box = Box.from_bounds({"x": (0, 1)})
+        with pytest.raises(DomainError):
+            box.interval("y")
+
+    def test_contains_point(self):
+        box = Box.from_bounds({"x": (0, 1), "y": (0, 1)})
+        assert box.contains_point({"x": 0.5, "y": 0.5})
+        assert not box.contains_point({"x": 2.0, "y": 0.5})
+        assert not box.contains_point({"x": 0.5})
+
+    def test_contains_box(self):
+        outer = Box.from_bounds({"x": (0, 10), "y": (0, 10)})
+        inner = Box.from_bounds({"x": (1, 2), "y": (3, 4)})
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_replace_and_split(self):
+        box = Box.from_bounds({"x": (0, 4), "y": (0, 1)})
+        low, high = box.split()
+        assert low.interval("x").hi == 2.0
+        assert high.interval("x").lo == 2.0
+        assert low.interval("y") == box.interval("y")
+
+    def test_split_names_widest_variable(self):
+        box = Box.from_bounds({"x": (0, 1), "y": (0, 10)})
+        assert box.max_width_variable() == "y"
+
+    def test_project_and_extend(self):
+        box = Box.from_bounds({"x": (0, 1), "y": (2, 3), "z": (4, 5)})
+        projected = box.project(["x", "z"])
+        assert set(projected.variables) == {"x", "z"}
+        extended = projected.extend(Box.from_bounds({"w": (0, 1)}))
+        assert "w" in extended
+        with pytest.raises(DomainError):
+            projected.extend(Box.from_bounds({"x": (0, 1)}))
+
+    def test_intersect_requires_same_variables(self):
+        a = Box.from_bounds({"x": (0, 1)})
+        b = Box.from_bounds({"y": (0, 1)})
+        with pytest.raises(DomainError):
+            a.intersect(b)
+
+    def test_relative_volume(self):
+        domain = Box.from_bounds({"x": (0, 2), "y": (0, 2)})
+        sub = Box.from_bounds({"x": (0, 1), "y": (0, 1)})
+        assert sub.relative_volume(domain) == pytest.approx(0.25)
+
+    def test_relative_volume_with_degenerate_dimension(self):
+        domain = Box.from_bounds({"x": (0, 2), "y": (1, 1)})
+        sub = Box.from_bounds({"x": (0, 1), "y": (1, 1)})
+        assert sub.relative_volume(domain) == pytest.approx(0.5)
+
+    def test_corners_and_midpoint(self):
+        box = Box.from_bounds({"x": (0, 1), "y": (0, 2)})
+        corners = box.corners()
+        assert len(corners) == 4
+        assert {"x": 0.0, "y": 2.0} in corners
+        assert box.midpoint() == {"x": 0.5, "y": 1.0}
+
+    def test_hash_and_equality(self):
+        a = Box.from_bounds({"x": (0, 1)})
+        b = Box.from_bounds({"x": (0, 1)})
+        assert a == b and hash(a) == hash(b)

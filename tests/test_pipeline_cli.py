@@ -1,0 +1,180 @@
+"""Tests for the end-to-end pipeline, the experiment runner, and the CLI."""
+
+import pytest
+
+from repro.analysis.pipeline import ProbabilisticAnalysisPipeline, analyze_program
+from repro.analysis.results import Table, format_interval
+from repro.analysis.runner import repeat_analysis
+from repro.cli import main
+from repro.core.qcoral import QCoralConfig
+from repro.errors import AnalysisError
+from repro.subjects import programs
+
+
+class TestPipeline:
+    def test_safety_monitor_end_to_end(self):
+        result = analyze_program(
+            programs.SAFETY_MONITOR,
+            programs.SAFETY_MONITOR_EVENT,
+            config=QCoralConfig.strat_partcache(20_000, seed=1),
+        )
+        assert result.mean == pytest.approx(programs.SAFETY_MONITOR_EXACT, abs=0.02)
+        assert result.bounded_probability.mean == 0.0
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_program(programs.SAFETY_MONITOR, "noSuchEvent", config=QCoralConfig.plain(100))
+
+    def test_symbolic_execution_is_cached(self):
+        pipeline = ProbabilisticAnalysisPipeline(
+            programs.SAFETY_MONITOR, config=QCoralConfig.plain(500, seed=2)
+        )
+        first = pipeline.symbolic_execution()
+        second = pipeline.symbolic_execution()
+        assert first is second
+
+    def test_custom_profile_overrides_bounds(self):
+        from repro.core.profiles import UsageProfile
+
+        profile = UsageProfile.uniform(
+            {"altitude": (9500, 20000), "headFlap": (-10, 10), "tailFlap": (-10, 10)}
+        )
+        result = analyze_program(
+            programs.SAFETY_MONITOR,
+            programs.SAFETY_MONITOR_EVENT,
+            profile=profile,
+            config=QCoralConfig.strat_partcache(2000, seed=3),
+        )
+        # With altitude always above 9000 the supervisor is always called.
+        assert result.mean == pytest.approx(1.0, abs=1e-6)
+
+    def test_bounded_paths_probability_reported(self):
+        source = """
+        input x in [0.01, 1];
+        total = 0;
+        while (total <= 3) { total = total + x; }
+        observe(done);
+        """
+        pipeline = ProbabilisticAnalysisPipeline(
+            source, config=QCoralConfig.strat_partcache(1000, seed=4), max_depth=8
+        )
+        result = pipeline.analyze("done")
+        assert result.bounded_probability.mean > 0.0
+        assert "bound" in result.confidence_note
+
+    def test_assert_violation_analysis(self):
+        result = analyze_program(
+            programs.SCORING_WITH_ASSERT,
+            "assert.violation",
+            config=QCoralConfig.strat_partcache(5000, seed=5),
+        )
+        # P(score + bonus > 110) over [0,100]x[0,20] = 50/2000 = 0.025.
+        assert result.mean == pytest.approx(0.025, abs=0.01)
+
+
+class TestRunner:
+    def test_aggregates_trials(self):
+        outcomes = repeat_analysis(lambda seed: (0.5 + seed * 0.01, 0.1), runs=5)
+        assert outcomes.runs == 5
+        assert outcomes.mean_estimate == pytest.approx(0.52)
+        assert outcomes.mean_reported_std == pytest.approx(0.1)
+        assert outcomes.empirical_std > 0.0
+
+    def test_single_run_has_zero_empirical_std(self):
+        outcomes = repeat_analysis(lambda seed: (0.3, 0.05), runs=1)
+        assert outcomes.empirical_std == 0.0
+
+    def test_invalid_run_count(self):
+        with pytest.raises(ValueError):
+            repeat_analysis(lambda seed: (0.5, 0.1), runs=0)
+
+    def test_nan_results_rejected(self):
+        with pytest.raises(ValueError):
+            repeat_analysis(lambda seed: (float("nan"), 0.0), runs=1)
+
+    def test_summary_contains_fields(self):
+        outcomes = repeat_analysis(lambda seed: (0.5, 0.1), runs=2)
+        summary = outcomes.summary()
+        assert "estimate=" in summary and "time=" in summary
+
+
+class TestResultsFormatting:
+    def test_table_rendering(self):
+        table = Table("Demo", ("estimate", "std"))
+        table.add_row("subject-a", 0.5, 1e-6)
+        table.add_row("subject-b", 123456.0, 0.25)
+        rendered = table.render()
+        assert "Demo" in rendered
+        assert "subject-a" in rendered
+        assert "1.00e-06" in rendered
+
+    def test_format_interval(self):
+        assert format_interval(0.1, 0.25) == "[0.1000, 0.2500]"
+
+
+class TestCli:
+    def test_quantify_command(self, capsys):
+        exit_code = main(
+            [
+                "quantify",
+                "x <= 0 - y && y <= x",
+                "--domain",
+                "x=-1:1",
+                "--domain",
+                "y=-1:1",
+                "--samples",
+                "2000",
+                "--seed",
+                "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "probability:" in captured.out
+        assert "qCORAL{STRAT,PARTCACHE}" in captured.out
+
+    def test_quantify_with_disabled_features(self, capsys):
+        exit_code = main(
+            [
+                "quantify",
+                "x >= 0",
+                "--domain",
+                "x=-1:1",
+                "--samples",
+                "500",
+                "--no-strat",
+                "--no-partcache",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "qCORAL{}" in captured.out
+
+    def test_quantify_missing_constraints_errors(self, capsys):
+        exit_code = main(["quantify", "", "--domain", "x=0:1"])
+        assert exit_code == 2
+
+    def test_quantify_bad_domain_spec(self, capsys):
+        exit_code = main(["quantify", "x >= 0", "--domain", "x=oops"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error" in captured.err
+
+    def test_analyze_command(self, tmp_path, capsys):
+        program_file = tmp_path / "monitor.prog"
+        program_file.write_text(programs.SAFETY_MONITOR)
+        exit_code = main(
+            [
+                "analyze",
+                str(program_file),
+                programs.SAFETY_MONITOR_EVENT,
+                "--samples",
+                "2000",
+                "--seed",
+                "9",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "probability:" in captured.out
+        assert "paths:" in captured.out

@@ -1,0 +1,207 @@
+"""Unit tests for the mini language: parser, interpreter, symbolic executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError, SymbolicExecutionError
+from repro.lang.evaluator import holds_any
+from repro.subjects import programs
+from repro.symexec import (
+    ASSERTION_VIOLATION_EVENT,
+    ConcreteInterpreter,
+    SymbolicExecutor,
+    execute_program,
+    parse_program,
+    run_program,
+)
+
+
+class TestProgramParser:
+    def test_parse_safety_monitor(self):
+        program = parse_program(programs.SAFETY_MONITOR, name="monitor")
+        assert program.input_names() == ("altitude", "headFlap", "tailFlap")
+        assert program.input_bounds()["altitude"] == (0.0, 20000.0)
+
+    def test_negative_bounds(self):
+        program = parse_program("input x in [-5, -1];\nskip;")
+        assert program.input_bounds()["x"] == (-5.0, -1.0)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("input x in [1, 0];\nskip;")
+
+    def test_program_without_inputs_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("skip;")
+
+    def test_else_if_chain(self):
+        source = """
+        input x in [0, 10];
+        if (x >= 7) { observe(high); }
+        else if (x >= 3) { observe(mid); }
+        else { observe(low); }
+        """
+        program = parse_program(source)
+        result = execute_program(program)
+        assert set(result.events()) == {"high", "mid", "low"}
+
+    def test_while_loop_parsing(self):
+        program = parse_program(programs.THERMOSTAT)
+        assert program.input_names() == ("temperature", "heatingRate")
+
+    def test_boolean_conditions(self):
+        source = """
+        input x in [0, 1];
+        input y in [0, 1];
+        if (x >= 0.5 && y >= 0.5 || !(x <= 0.9)) { observe(hit); }
+        """
+        program = parse_program(source)
+        result = execute_program(program)
+        assert "hit" in result.events()
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("input x in [0, 1]\nskip;")
+
+
+class TestConcreteInterpreter:
+    def test_safety_monitor_high_altitude(self):
+        program = parse_program(programs.SAFETY_MONITOR)
+        trace = run_program(program, {"altitude": 12000, "headFlap": 0, "tailFlap": 0})
+        assert trace.observed("callSupervisor")
+
+    def test_safety_monitor_low_altitude_safe_flaps(self):
+        program = parse_program(programs.SAFETY_MONITOR)
+        trace = run_program(program, {"altitude": 100, "headFlap": 0.0, "tailFlap": 0.0})
+        assert not trace.observed("callSupervisor")
+
+    def test_assignment_and_arithmetic(self):
+        program = parse_program("input x in [0, 10];\ny = x * 2 + 1;\nif (y >= 5) { observe(big); }")
+        assert run_program(program, {"x": 3}).observed("big")
+        assert not run_program(program, {"x": 1}).observed("big")
+
+    def test_while_loop_terminates(self):
+        program = parse_program(programs.THERMOSTAT)
+        trace = run_program(program, {"temperature": 10, "heatingRate": 0.5})
+        assert trace.observed("slowHeating")
+
+    def test_loop_bound_flag(self):
+        source = "input x in [0, 1];\nwhile (x >= 0) { x = x + 1; }"
+        program = parse_program(source)
+        trace = run_program(program, {"x": 0.5}, loop_bound=10)
+        assert trace.hit_bound
+
+    def test_assert_violation_event(self):
+        program = parse_program(programs.SCORING_WITH_ASSERT)
+        violated = run_program(program, {"score": 100, "bonus": 15})
+        satisfied = run_program(program, {"score": 50, "bonus": 10})
+        assert violated.observed(ASSERTION_VIOLATION_EVENT)
+        assert not satisfied.observed(ASSERTION_VIOLATION_EVENT)
+
+    def test_missing_input_rejected(self):
+        program = parse_program(programs.SAFETY_MONITOR)
+        with pytest.raises(SymbolicExecutionError):
+            run_program(program, {"altitude": 100})
+
+    def test_invalid_loop_bound(self):
+        program = parse_program(programs.SAFETY_MONITOR)
+        with pytest.raises(SymbolicExecutionError):
+            ConcreteInterpreter(program, loop_bound=0)
+
+
+class TestSymbolicExecutor:
+    def test_safety_monitor_paths(self):
+        program = parse_program(programs.SAFETY_MONITOR)
+        result = execute_program(program)
+        assert result.path_count == 3
+        target = result.constraint_set_for("callSupervisor")
+        assert len(target) == 2
+
+    def test_paths_are_disjoint_and_cover_domain(self):
+        """Sampled inputs satisfy exactly one path condition (Section 4 disjointness)."""
+        program = parse_program(programs.SAFETY_MONITOR)
+        result = execute_program(program)
+        rng = np.random.default_rng(5)
+        bounds = program.input_bounds()
+        for _ in range(200):
+            point = {name: float(rng.uniform(lo, hi)) for name, (lo, hi) in bounds.items()}
+            satisfied = [
+                path for path in result.paths
+                if all(
+                    __import__("repro.lang.evaluator", fromlist=["holds"]).holds(c, point)
+                    for c in path.condition.constraints
+                )
+            ]
+            assert len(satisfied) == 1
+
+    def test_agreement_with_concrete_interpreter(self):
+        """An input observes the event iff it satisfies a PC reported for it."""
+        program = parse_program(programs.SAFETY_MONITOR)
+        symbolic = execute_program(program)
+        target = symbolic.constraint_set_for("callSupervisor")
+        rng = np.random.default_rng(11)
+        bounds = program.input_bounds()
+        for _ in range(200):
+            point = {name: float(rng.uniform(lo, hi)) for name, (lo, hi) in bounds.items()}
+            concrete = run_program(program, point).observed("callSupervisor")
+            symbolic_hit = holds_any(target, point)
+            assert concrete == symbolic_hit
+
+    def test_collision_check_single_branch(self):
+        program = parse_program(programs.COLLISION_CHECK)
+        result = execute_program(program)
+        assert set(result.events()) == {"collision"}
+        assert len(result.constraint_set_for("collision")) == 1
+
+    def test_loop_unrolling_produces_multiple_paths(self):
+        program = parse_program(programs.THERMOSTAT)
+        result = execute_program(program, max_depth=30)
+        assert result.path_count > 2
+
+    def test_bounded_paths_reported_separately(self):
+        source = "input x in [0.1, 1];\ntotal = 0;\nwhile (total <= 100) { total = total + x; }\nobserve(done);"
+        program = parse_program(source)
+        result = execute_program(program, max_depth=10)
+        bounded = result.bounded_constraint_set()
+        assert len(bounded) >= 1
+        # Paths that hit the bound are excluded from the event's PC set.
+        assert all(not path.hit_bound for path in result.paths if path.observed("done"))
+
+    def test_assert_violation_constraints(self):
+        program = parse_program(programs.SCORING_WITH_ASSERT)
+        result = execute_program(program)
+        violations = result.constraint_set_for(ASSERTION_VIOLATION_EVENT)
+        assert len(violations) == 1
+        assert holds_any(violations, {"score": 100.0, "bonus": 15.0})
+        assert not holds_any(violations, {"score": 10.0, "bonus": 5.0})
+
+    def test_infeasible_branches_pruned(self):
+        source = """
+        input x in [0, 1];
+        if (x >= 5) { observe(impossible); }
+        if (x <= 2) { observe(always); }
+        """
+        result = execute_program(parse_program(source))
+        assert "impossible" not in result.events()
+        assert "always" in result.events()
+
+    def test_constraint_set_against_event(self):
+        program = parse_program(programs.SAFETY_MONITOR)
+        result = execute_program(program)
+        against = result.constraint_set_against("callSupervisor")
+        assert len(against) == 1
+
+    def test_max_paths_truncation_flag(self):
+        source = "\n".join(
+            ["input x in [0, 1];"]
+            + [f"if (x >= 0.{i}) {{ observe(e{i}); }} else {{ skip; }}" for i in range(1, 8)]
+        )
+        result = execute_program(parse_program(source), max_paths=5)
+        assert result.truncated
+
+    def test_invalid_bounds_rejected(self):
+        program = parse_program(programs.SAFETY_MONITOR)
+        with pytest.raises(SymbolicExecutionError):
+            SymbolicExecutor(program, max_depth=0)
+        with pytest.raises(SymbolicExecutionError):
+            SymbolicExecutor(program, max_paths=0)
