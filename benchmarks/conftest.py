@@ -11,16 +11,49 @@ Every benchmark has two modes:
 Each ``bench_*.py`` module is also directly runnable (``python
 benchmarks/bench_table2_microbenchmarks.py``) and then prints the full table
 in the paper's row format.
+
+Benchmarks can additionally register machine-readable summaries with
+:func:`record_bench`; everything registered during a session is written to
+``benchmarks/BENCH_adaptive.json`` at session end, so the performance
+trajectory of the adaptive sampler is tracked across commits.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from typing import Any, Dict
 
 import pytest
 
 #: True when the benchmarks should run at paper scale.
 FULL_SCALE = os.environ.get("QCORAL_BENCH_FULL", "0") not in ("0", "", "false", "False")
+
+#: Summary payloads registered by benchmarks during this session.
+BENCH_RESULTS: Dict[str, Any] = {}
+
+#: Where the machine-readable benchmark summary lands.
+BENCH_SUMMARY_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_adaptive.json")
+
+
+def record_bench(name: str, payload: Any) -> None:
+    """Register one benchmark's machine-readable summary for the JSON dump."""
+    BENCH_RESULTS[name] = payload
+
+
+def write_bench_summary() -> str:
+    """Write all registered summaries to :data:`BENCH_SUMMARY_PATH`."""
+    with open(BENCH_SUMMARY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(BENCH_RESULTS, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return BENCH_SUMMARY_PATH
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit the benchmark summary when any benchmark registered results."""
+    if BENCH_RESULTS:
+        path = write_bench_summary()
+        print(f"\nbenchmark summary written to {path}")
 
 
 def repetitions(default: int = 3, full: int = 30) -> int:

@@ -10,11 +10,11 @@ which the paper proposes as a confidence measure for the bounded result.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from repro.core.estimate import Estimate
 from repro.core.profiles import UsageProfile
-from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult
+from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult, RoundReport
 from repro.errors import AnalysisError
 from repro.symexec.ast import Program
 from repro.symexec.parser import parse_program
@@ -42,6 +42,16 @@ class PipelineResult:
         return self.probability.std
 
     @property
+    def rounds(self) -> int:
+        """Sampling rounds the adaptive loop executed for the target event."""
+        return self.qcoral_result.rounds
+
+    @property
+    def round_reports(self) -> Tuple[RoundReport, ...]:
+        """Per-round convergence records of the target-event analysis."""
+        return self.qcoral_result.round_reports
+
+    @property
     def confidence_note(self) -> str:
         """Human-readable statement of the bounded-path probability mass."""
         return (
@@ -67,6 +77,7 @@ class ProbabilisticAnalysisPipeline:
         self._max_depth = max_depth
         self._max_paths = max_paths
         self._symbolic_result: Optional[SymbolicExecutionResult] = None
+        self._analyzer: Optional[QCoralAnalyzer] = None
 
     @property
     def program(self) -> Program:
@@ -86,6 +97,19 @@ class ProbabilisticAnalysisPipeline:
             )
         return self._symbolic_result
 
+    def analyzer(self) -> QCoralAnalyzer:
+        """The single qCORAL analyzer shared by all analyses of this pipeline.
+
+        Sharing one analyzer means the event analysis and the bounded-path
+        analysis (and analyses of further events) draw from one factor cache:
+        path-condition factors quantified once are reused instead of being
+        re-sampled by a second analyzer with the same seed — which previously
+        also replayed the identical RNG stream.
+        """
+        if self._analyzer is None:
+            self._analyzer = QCoralAnalyzer(self._profile, self._config)
+        return self._analyzer
+
     def analyze(self, event: str) -> PipelineResult:
         """Quantify the probability that ``event`` occurs during execution."""
         symbolic = self.symbolic_execution()
@@ -95,13 +119,12 @@ class ProbabilisticAnalysisPipeline:
                 f"known events: {list(symbolic.events())}"
             )
         constraint_set = symbolic.constraint_set_for(event)
-        analyzer = QCoralAnalyzer(self._profile, self._config)
+        analyzer = self.analyzer()
         result = analyzer.analyze(constraint_set)
 
         bounded_set = symbolic.bounded_constraint_set()
         if bounded_set.path_conditions:
-            bounded_analyzer = QCoralAnalyzer(self._profile, self._config)
-            bounded = bounded_analyzer.analyze(bounded_set).estimate
+            bounded = analyzer.analyze(bounded_set).estimate
         else:
             bounded = Estimate.zero()
 

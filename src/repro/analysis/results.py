@@ -71,3 +71,22 @@ def _format_cell(value: object) -> str:
 def format_interval(lower: float, upper: float) -> str:
     """Format a probability interval the way the paper prints VolComp bounds."""
     return f"[{lower:.4f}, {upper:.4f}]"
+
+
+def convergence_table(round_reports: Sequence[object], title: str = "Adaptive convergence") -> Table:
+    """Render the per-round records of an adaptive run as a table.
+
+    Accepts the :class:`~repro.core.qcoral.RoundReport` sequence carried by
+    ``QCoralResult.round_reports``; the duck-typed signature keeps this module
+    free of a ``core`` import so formatting stays dependency-light.
+    """
+    table = Table(title, ("allocated", "cumulative", "estimate", "σ"))
+    for report in round_reports:
+        table.add_row(
+            f"round {report.round_index}",
+            report.allocated,
+            report.total_samples,
+            report.mean,
+            report.std,
+        )
+    return table

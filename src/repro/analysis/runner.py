@@ -13,16 +13,26 @@ import math
 import statistics
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.qcoral import QCoralResult
 
 
 @dataclass(frozen=True)
 class TrialOutcome:
-    """One trial: the estimate, its reported standard deviation, and its time."""
+    """One trial: the estimate, its reported standard deviation, and its time.
+
+    ``samples`` and ``rounds`` record the sampling effort of the trial when
+    the analysis exposes them (adaptive runs); both default to 0 for plain
+    ``(estimate, std)`` callables.
+    """
 
     estimate: float
     reported_std: float
     elapsed: float
+    samples: int = 0
+    rounds: int = 0
 
 
 @dataclass(frozen=True)
@@ -58,6 +68,16 @@ class RepeatedResult:
         """Average wall-clock time per trial, in seconds."""
         return statistics.fmean(outcome.elapsed for outcome in self.outcomes)
 
+    @property
+    def mean_samples(self) -> float:
+        """Average samples spent per trial (0 when trials did not report it)."""
+        return statistics.fmean(outcome.samples for outcome in self.outcomes)
+
+    @property
+    def mean_rounds(self) -> float:
+        """Average adaptive rounds per trial (0 when trials did not report it)."""
+        return statistics.fmean(outcome.rounds for outcome in self.outcomes)
+
     def summary(self) -> str:
         """Compact single-line summary for logging."""
         return (
@@ -87,4 +107,32 @@ def repeat_analysis(
         if math.isnan(estimate) or math.isnan(reported_std):
             raise ValueError(f"trial with seed {seed} produced NaN results")
         outcomes.append(TrialOutcome(estimate, reported_std, elapsed))
+    return RepeatedResult(tuple(outcomes))
+
+
+def repeat_quantification(
+    run: Callable[[int], "QCoralResult"],
+    runs: int = 30,
+    base_seed: int = 0,
+) -> RepeatedResult:
+    """Like :func:`repeat_analysis` for callables returning a full result.
+
+    ``run(seed)`` must return a :class:`~repro.core.qcoral.QCoralResult`; the
+    per-trial sample counts and adaptive round counts are recorded alongside
+    the estimate, so convergence-vs-budget trajectories can be aggregated the
+    same way the paper aggregates estimates.
+    """
+    if runs < 1:
+        raise ValueError("at least one run is required")
+    outcomes: List[TrialOutcome] = []
+    for index in range(runs):
+        seed = base_seed + index
+        started = time.perf_counter()
+        result = run(seed)
+        elapsed = time.perf_counter() - started
+        if math.isnan(result.mean) or math.isnan(result.std):
+            raise ValueError(f"trial with seed {seed} produced NaN results")
+        outcomes.append(
+            TrialOutcome(result.mean, result.std, elapsed, result.total_samples, result.rounds)
+        )
     return RepeatedResult(tuple(outcomes))

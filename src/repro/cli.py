@@ -19,8 +19,9 @@ import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.pipeline import analyze_program
+from repro.analysis.results import convergence_table
 from repro.core.profiles import UsageProfile
-from repro.core.qcoral import QCoralAnalyzer, QCoralConfig
+from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult
 from repro.errors import ReproError
 from repro.lang.parser import parse_constraint_set
 
@@ -44,6 +45,10 @@ def _config_from_args(args: argparse.Namespace) -> QCoralConfig:
         stratified=not args.no_strat,
         partition_and_cache=not args.no_partcache,
         seed=args.seed,
+        target_std=args.target_std,
+        max_rounds=args.max_rounds,
+        initial_fraction=args.initial_fraction,
+        allocation=args.allocation,
     )
 
 
@@ -54,6 +59,45 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-partcache", action="store_true", help="disable partitioning and caching"
     )
+    parser.add_argument(
+        "--target-std",
+        type=float,
+        default=None,
+        help="stop sampling once the combined standard deviation falls below this value",
+    )
+    parser.add_argument(
+        "--max-rounds",
+        type=int,
+        default=1,
+        help="maximum adaptive sampling rounds (1 = the paper's one-shot behaviour)",
+    )
+    parser.add_argument(
+        "--initial-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of the budget spent in the pilot round of an adaptive run",
+    )
+    parser.add_argument(
+        "--allocation",
+        choices=["even", "neyman"],
+        default="even",
+        help="per-stratum budget split: even (paper) or neyman (variance-driven)",
+    )
+    parser.add_argument(
+        "--show-rounds",
+        action="store_true",
+        help="print the per-round convergence table of an adaptive run",
+    )
+
+
+def _print_rounds(args: argparse.Namespace, result: QCoralResult) -> None:
+    if not result.round_reports:
+        return
+    if args.show_rounds or result.config.target_std is not None:
+        print(convergence_table(result.round_reports).render())
+        if result.config.target_std is not None:
+            status = "met" if result.met_target else "NOT met (budget exhausted)"
+            print(f"target std:    {result.config.target_std:.3e} {status}")
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
@@ -65,8 +109,11 @@ def _command_analyze(args: argparse.Namespace) -> int:
     print(f"paths:        {len(result.qcoral_result.path_reports)}")
     print(f"probability:  {result.mean:.6f}")
     print(f"std:          {result.std:.3e}")
+    if result.rounds > 1:
+        print(f"rounds:       {result.rounds}")
     print(f"time:         {result.qcoral_result.analysis_time:.2f}s")
     print(result.confidence_note)
+    _print_rounds(args, result.qcoral_result)
     return 0
 
 
@@ -89,10 +136,14 @@ def _command_quantify(args: argparse.Namespace) -> int:
     print(f"paths:         {len(constraint_set)}")
     print(f"probability:   {result.mean:.6f}")
     print(f"std:           {result.std:.3e}")
+    print(f"samples:       {result.total_samples}")
+    if result.rounds > 1:
+        print(f"rounds:        {result.rounds}")
     print(f"time:          {result.analysis_time:.2f}s")
     cache = result.cache_statistics
     if cache.lookups:
         print(f"cache:         {cache.hits}/{cache.lookups} hits")
+    _print_rounds(args, result)
     return 0
 
 

@@ -12,7 +12,7 @@ from repro.core.dependency import (
     compute_dependency_partition,
     partition_for_constraint_set,
 )
-from repro.core.estimate import Estimate, product_independent, sum_disjoint
+from repro.core.estimate import Estimate, RunningEstimate, product_independent, sum_disjoint
 from repro.core.montecarlo import SamplingResult, hit_or_miss, hit_or_miss_constraint_set
 from repro.core.profiles import (
     Distribution,
@@ -27,12 +27,23 @@ from repro.core.qcoral import (
     QCoralAnalyzer,
     QCoralConfig,
     QCoralResult,
+    RoundReport,
     quantify,
 )
-from repro.core.stratified import StratifiedResult, StratumReport, stratified_sampling
+from repro.core.stratified import (
+    ALLOCATION_POLICIES,
+    StratifiedResult,
+    StratifiedSampler,
+    Stratum,
+    StratumReport,
+    allocate_budget,
+    allocation_priorities,
+    stratified_sampling,
+)
 
 __all__ = [
     "Estimate",
+    "RunningEstimate",
     "sum_disjoint",
     "product_independent",
     "UsageProfile",
@@ -44,8 +55,13 @@ __all__ = [
     "hit_or_miss",
     "hit_or_miss_constraint_set",
     "StratifiedResult",
+    "StratifiedSampler",
+    "Stratum",
     "StratumReport",
     "stratified_sampling",
+    "allocate_budget",
+    "allocation_priorities",
+    "ALLOCATION_POLICIES",
     "DependencyPartition",
     "UnionFind",
     "compute_dependency_partition",
@@ -58,6 +74,7 @@ __all__ = [
     "QCoralAnalyzer",
     "QCoralConfig",
     "QCoralResult",
+    "RoundReport",
     "PathConditionReport",
     "FactorReport",
     "quantify",

@@ -75,6 +75,16 @@ class EstimateCache:
         """Store the estimate for ``factor``."""
         self._entries[self.key_for(factor)] = estimate
 
+    def record_shared_hit(self) -> None:
+        """Count a reuse that bypassed the store (an in-run shared factor).
+
+        The incremental analyzer deduplicates factors before sampling starts,
+        so a factor shared by several path conditions is looked up only once;
+        this keeps the hit/miss statistics equivalent to per-occurrence
+        lookups.
+        """
+        self._statistics.hits += 1
+
     def get_or_compute(
         self, factor: ast.PathCondition, compute: Callable[[], Estimate]
     ) -> Estimate:

@@ -4,6 +4,11 @@ The estimator draws ``n`` independent samples from the usage profile
 (optionally conditioned on a sub-box of the domain), counts how many satisfy
 the constraint under analysis, and reports the hit ratio together with the
 binomial-proportion variance ``p (1 - p) / n``.
+
+Both samplers are *resumable*: they return raw counts, and passing a previous
+:class:`SamplingResult` as ``prior`` extends it — the returned counts cover
+the prior plus the newly drawn batch, so an estimate can absorb additional
+budget round after round instead of restarting from zero.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.estimate import Estimate
+from repro.core.estimate import Estimate, RunningEstimate
 from repro.core.profiles import UsageProfile
 from repro.errors import AnalysisError
 from repro.intervals.box import Box
@@ -29,6 +34,24 @@ class SamplingResult:
     hits: int
     samples: int
 
+    def merge(self, other: "SamplingResult") -> "SamplingResult":
+        """Combine two independent runs of the same estimator (counts add)."""
+        hits = self.hits + other.hits
+        samples = self.samples + other.samples
+        return SamplingResult(Estimate.from_hits(hits, samples), hits, samples)
+
+    def to_running(self) -> RunningEstimate:
+        """The raw counts as a mergeable :class:`RunningEstimate` accumulator."""
+        return RunningEstimate.from_counts(self.hits, self.samples)
+
+
+def _extend_prior(hits: int, samples: int, prior: Optional[SamplingResult]) -> SamplingResult:
+    """Fold freshly drawn counts into an optional prior result."""
+    if prior is not None:
+        hits += prior.hits
+        samples += prior.samples
+    return SamplingResult(Estimate.from_hits(hits, samples), hits, samples)
+
 
 def hit_or_miss(
     pc: ast.PathCondition,
@@ -39,13 +62,14 @@ def hit_or_miss(
     variables: Optional[Sequence[str]] = None,
     predicate: Optional[CompiledPredicate] = None,
     batch_size: int = 100_000,
+    prior: Optional[SamplingResult] = None,
 ) -> SamplingResult:
     """Estimate the probability of satisfying ``pc`` by hit-or-miss sampling.
 
     Args:
         pc: The conjunction of constraints to estimate.
         profile: Usage profile; must cover every free variable of ``pc``.
-        samples: Number of samples to draw (must be positive).
+        samples: Number of *additional* samples to draw (must be positive).
         rng: NumPy random generator (the caller controls seeding).
         box: Optional sub-box of the domain to sample inside (an ICP stratum).
         variables: Variables to sample; defaults to the free variables of
@@ -55,9 +79,12 @@ def hit_or_miss(
             the caller evaluates the same constraint over many strata).
         batch_size: Samples are drawn and evaluated in batches of this size to
             bound peak memory.
+        prior: Result of a previous run over the same estimator; the returned
+            counts extend it, making the sampler resumable.
 
     Returns:
-        A :class:`SamplingResult` holding the :class:`Estimate` and raw counts.
+        A :class:`SamplingResult` holding the :class:`Estimate` and raw counts
+        (cumulative when ``prior`` is given).
     """
     if samples <= 0:
         raise AnalysisError("hit-or-miss sampling needs a positive sample count")
@@ -71,7 +98,9 @@ def hit_or_miss(
         from repro.lang.evaluator import holds_path_condition
 
         mean = 1.0 if holds_path_condition(pc, {}) else 0.0
-        return SamplingResult(Estimate.exact(mean), int(mean * samples), samples)
+        return _extend_prior(int(mean * samples), samples, prior) if prior is not None else SamplingResult(
+            Estimate.exact(mean), int(mean * samples), samples
+        )
 
     compiled = predicate if predicate is not None else compile_path_condition(pc)
 
@@ -83,7 +112,7 @@ def hit_or_miss(
         hits += int(np.count_nonzero(compiled(batch)))
         drawn += batch_count
 
-    return SamplingResult(Estimate.from_hits(hits, samples), hits, samples)
+    return _extend_prior(hits, samples, prior)
 
 
 def hit_or_miss_constraint_set(
@@ -92,12 +121,14 @@ def hit_or_miss_constraint_set(
     samples: int,
     rng: np.random.Generator,
     batch_size: int = 100_000,
+    prior: Optional[SamplingResult] = None,
 ) -> SamplingResult:
     """Whole-domain hit-or-miss over a disjunction of path conditions.
 
     This estimates the indicator of Equation (1) directly (a sample is a hit
     when it satisfies *any* path condition); it is the non-compositional
-    baseline labelled "Monte Carlo" in the paper's Table 4.
+    baseline labelled "Monte Carlo" in the paper's Table 4.  Like
+    :func:`hit_or_miss` it is resumable through ``prior``.
     """
     from repro.lang.compiler import compile_constraint_set
 
@@ -109,7 +140,9 @@ def hit_or_miss_constraint_set(
         from repro.lang.evaluator import holds_any
 
         mean = 1.0 if holds_any(constraint_set, {}) else 0.0
-        return SamplingResult(Estimate.exact(mean), int(mean * samples), samples)
+        return _extend_prior(int(mean * samples), samples, prior) if prior is not None else SamplingResult(
+            Estimate.exact(mean), int(mean * samples), samples
+        )
 
     compiled = compile_constraint_set(constraint_set)
     hits = 0
@@ -119,4 +152,4 @@ def hit_or_miss_constraint_set(
         batch = profile.sample(rng, batch_count, variables=names)
         hits += int(np.count_nonzero(compiled(batch)))
         drawn += batch_count
-    return SamplingResult(Estimate.from_hits(hits, samples), hits, samples)
+    return _extend_prior(hits, samples, prior)

@@ -1,4 +1,4 @@
-"""The qCORAL analyzer: Algorithms 1 and 2 of the paper.
+"""The qCORAL analyzer: Algorithms 1 and 2 of the paper, made incremental.
 
 :class:`QCoralAnalyzer` quantifies the probability that an input drawn from a
 usage profile satisfies *any* path condition of a constraint set.  The two
@@ -12,18 +12,32 @@ flags:
   estimate factors separately, compose with the product rule, and cache factor
   estimates for reuse across path conditions.
 
+Beyond the paper, the estimation loop is **iterative and adaptive**: every
+factor is backed by a resumable sampler, and the total budget is spent over
+one or more rounds.  After a pilot round the remaining budget flows to the
+factors (and, within a stratified factor, the strata) with the largest
+variance contribution — a generalised Neyman allocation — until either the
+combined standard deviation drops below ``QCoralConfig.target_std`` or the
+budget is exhausted.  Per-round convergence is recorded in
+:attr:`QCoralResult.round_reports`.
+
 Typical use::
 
     profile = UsageProfile.uniform({"x": (-1, 1), "y": (-1, 1)})
     result = QCoralAnalyzer(profile).analyze(parse_constraint_set("x <= 0 - y && y <= x"))
     print(result.mean, result.std)
+
+    # Adaptive: sample until σ <= 1e-4 (or the budget runs out).
+    config = QCoralConfig(samples_per_query=100_000, target_std=1e-4)
+    result = QCoralAnalyzer(profile, config).analyze(...)
 """
 
 from __future__ import annotations
 
+import math
 import time
-from dataclasses import dataclass, field, replace
-from typing import FrozenSet, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,15 +48,20 @@ from repro.core.composition import (
 )
 from repro.core.dependency import DependencyPartition, compute_dependency_partition
 from repro.core.estimate import Estimate
-from repro.core.montecarlo import hit_or_miss
+from repro.core.montecarlo import SamplingResult, hit_or_miss
 from repro.core.profiles import UsageProfile
-from repro.core.stratified import stratified_sampling
+from repro.core.stratified import ALLOCATION_POLICIES, StratifiedSampler, allocate_budget
 from repro.errors import AnalysisError, ConfigurationError
 from repro.icp.config import ICPConfig, PAPER_CONFIG
 from repro.icp.solver import ICPSolver
 from repro.lang import ast
 from repro.lang.analysis import group_constraints_by_block
+from repro.lang.compiler import compile_path_condition
 from repro.lang.simplify import simplify_path_condition
+
+#: Rounds used when an adaptive feature is requested without an explicit
+#: ``max_rounds`` (pilot + re-allocation rounds).
+DEFAULT_ADAPTIVE_ROUNDS = 6
 
 
 @dataclass(frozen=True)
@@ -50,9 +69,10 @@ class QCoralConfig:
     """Configuration of a qCORAL analysis run.
 
     Attributes:
-        samples_per_query: Sampling budget per estimated factor (split across
-            ICP strata when stratification is enabled).  This mirrors the
-            "maximum number of samples" knob of the paper's experiments.
+        samples_per_query: Sampling budget per estimated factor.  This mirrors
+            the "maximum number of samples" knob of the paper's experiments;
+            in adaptive runs the budget of all factors is pooled and
+            re-allocated where the variance is.
         stratified: Enable the STRAT feature (ICP + stratified sampling).
         partition_and_cache: Enable the PARTCACHE feature (independent-factor
             decomposition with caching).
@@ -60,6 +80,20 @@ class QCoralConfig:
         icp: Configuration of the ICP paving solver.
         simplify: Simplify path conditions (constant folding, duplicate
             conjunct removal) before analysis.
+        target_std: Convergence target — stop sampling once the combined
+            standard deviation of the whole constraint set falls to or below
+            this value.  None disables the criterion (the budget is then the
+            only stop).
+        max_rounds: Maximum number of sampling rounds.  1 reproduces the
+            paper's one-shot behaviour; larger values enable the adaptive
+            loop (pilot + variance-driven re-allocation).  Left at 1 while
+            ``target_std`` is set or ``allocation="neyman"``, it is raised to
+            :data:`DEFAULT_ADAPTIVE_ROUNDS` automatically.
+        initial_fraction: Fraction of the total budget spent in the pilot
+            round of an adaptive run (the rest is re-allocated adaptively).
+        allocation: Budget split across strata and factors: ``"even"`` (the
+            paper's equal split) or ``"neyman"`` (proportional to the weighted
+            standard deviation ``w_i σ_i``).
     """
 
     samples_per_query: int = 30_000
@@ -68,10 +102,32 @@ class QCoralConfig:
     seed: Optional[int] = None
     icp: ICPConfig = PAPER_CONFIG
     simplify: bool = True
+    target_std: Optional[float] = None
+    max_rounds: int = 1
+    initial_fraction: float = 0.25
+    allocation: str = "even"
 
     def __post_init__(self) -> None:
         if self.samples_per_query <= 0:
             raise ConfigurationError("samples_per_query must be positive")
+        if self.target_std is not None and self.target_std <= 0.0:
+            raise ConfigurationError("target_std must be positive when set")
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be at least 1")
+        if not 0.0 < self.initial_fraction <= 1.0:
+            raise ConfigurationError("initial_fraction must be in (0, 1]")
+        if self.allocation not in ALLOCATION_POLICIES:
+            raise ConfigurationError(
+                f"unknown allocation policy {self.allocation!r}; expected one of {ALLOCATION_POLICIES}"
+            )
+        if self.max_rounds == 1 and (self.target_std is not None or self.allocation == "neyman"):
+            # An adaptive feature without rounds cannot act; give it rounds.
+            object.__setattr__(self, "max_rounds", DEFAULT_ADAPTIVE_ROUNDS)
+
+    @property
+    def is_adaptive(self) -> bool:
+        """True when the iterative multi-round loop is active."""
+        return self.max_rounds > 1
 
     # ------------------------------------------------------------------ #
     # Presets matching the configurations named in the paper's Table 4
@@ -91,6 +147,24 @@ class QCoralConfig:
         """qCORAL{STRAT, PARTCACHE}: the full approach evaluated in the paper."""
         return QCoralConfig(samples_per_query=samples, stratified=True, partition_and_cache=True, seed=seed)
 
+    @staticmethod
+    def adaptive(
+        samples: int = 30_000,
+        target_std: Optional[float] = None,
+        seed: Optional[int] = None,
+        max_rounds: int = DEFAULT_ADAPTIVE_ROUNDS,
+        initial_fraction: float = 0.25,
+    ) -> "QCoralConfig":
+        """qCORAL{STRAT, PARTCACHE, ADAPT}: variance-driven iterative sampling."""
+        return QCoralConfig(
+            samples_per_query=samples,
+            seed=seed,
+            target_std=target_std,
+            max_rounds=max_rounds,
+            initial_fraction=initial_fraction,
+            allocation="neyman",
+        )
+
     def feature_label(self) -> str:
         """Human-readable feature-set label, e.g. ``qCORAL{STRAT,PARTCACHE}``."""
         features = []
@@ -98,6 +172,8 @@ class QCoralConfig:
             features.append("STRAT")
         if self.partition_and_cache:
             features.append("PARTCACHE")
+        if self.is_adaptive:
+            features.append("ADAPT")
         return "qCORAL{" + ",".join(features) + "}"
 
     def with_samples(self, samples: int) -> "QCoralConfig":
@@ -135,6 +211,26 @@ class PathConditionReport:
 
 
 @dataclass(frozen=True)
+class RoundReport:
+    """Convergence record of one sampling round of the adaptive loop."""
+
+    round_index: int
+    allocated: int
+    total_samples: int
+    estimate: Estimate
+
+    @property
+    def mean(self) -> float:
+        """Combined mean after this round."""
+        return self.estimate.mean
+
+    @property
+    def std(self) -> float:
+        """Combined standard deviation after this round."""
+        return self.estimate.std
+
+
+@dataclass(frozen=True)
 class QCoralResult:
     """Result of quantifying a constraint set."""
 
@@ -144,6 +240,7 @@ class QCoralResult:
     total_samples: int
     analysis_time: float
     config: QCoralConfig
+    round_reports: Tuple[RoundReport, ...] = ()
 
     @property
     def mean(self) -> float:
@@ -160,11 +257,64 @@ class QCoralResult:
         """Standard deviation (square root of the variance bound)."""
         return self.estimate.std
 
+    @property
+    def rounds(self) -> int:
+        """Number of sampling rounds actually executed."""
+        return len(self.round_reports)
+
+    @property
+    def met_target(self) -> bool:
+        """True when a convergence target was set and reached."""
+        target = self.config.target_std
+        return target is not None and self.std <= target
+
     def __repr__(self) -> str:
         return (
             f"QCoralResult(mean={self.mean:.6f}, std={self.std:.3e}, "
-            f"paths={len(self.path_reports)}, time={self.analysis_time:.2f}s)"
+            f"paths={len(self.path_reports)}, rounds={self.rounds}, "
+            f"time={self.analysis_time:.2f}s)"
         )
+
+
+class _FactorState:
+    """Resumable estimator of one unique factor during an analysis run."""
+
+    __slots__ = ("key", "factor", "variables", "exact", "cached", "sampler", "mc_result", "predicate")
+
+    def __init__(self, key: str, factor: ast.PathCondition, variables: Tuple[str, ...]) -> None:
+        self.key = key
+        self.factor = factor
+        self.variables = variables
+        self.exact: Optional[Estimate] = None
+        self.cached = False
+        self.sampler: Optional[StratifiedSampler] = None
+        self.mc_result: Optional[SamplingResult] = None
+        self.predicate = None
+
+    @property
+    def sampleable(self) -> bool:
+        """True when this factor can absorb further sampling budget."""
+        return self.exact is None
+
+    @property
+    def samples(self) -> int:
+        """Samples spent on this factor during the current run."""
+        if self.sampler is not None:
+            return self.sampler.total_samples
+        if self.mc_result is not None:
+            return self.mc_result.samples
+        return 0
+
+    def estimate(self) -> Estimate:
+        """Current estimate of the factor's probability."""
+        if self.exact is not None:
+            return self.exact
+        if self.sampler is not None:
+            return self.sampler.estimate()
+        if self.mc_result is not None:
+            return self.mc_result.estimate
+        # No samples yet: the maximally uncertain Bernoulli prior.
+        return Estimate(0.5, 0.25)
 
 
 class QCoralAnalyzer:
@@ -206,13 +356,20 @@ class QCoralAnalyzer:
         ]
 
         partition = self._partition_for(path_conditions)
+        plan, states = self._build_plan(path_conditions, partition)
+        round_reports = self._run_rounds(plan, states)
 
         reports = []
         total_samples = 0
-        for pc in path_conditions:
-            report = self._analyze_conjunction(pc, partition)
+        for pc, occurrences in plan:
+            report = self._report_for(pc, occurrences)
             reports.append(report)
             total_samples += sum(factor.samples for factor in report.factors)
+
+        if self._config.partition_and_cache:
+            for state in states:
+                if not state.cached:
+                    self._cache.put(state.factor, state.estimate())
 
         estimate = compose_disjoint_path_conditions(report.estimate for report in reports)
         elapsed = time.perf_counter() - started
@@ -223,39 +380,33 @@ class QCoralAnalyzer:
             total_samples=total_samples,
             analysis_time=elapsed,
             config=self._config,
+            round_reports=round_reports,
         )
 
     def analyze_path_condition(self, pc: ast.PathCondition) -> PathConditionReport:
         """Quantify a single path condition in isolation."""
         simplified = simplify_path_condition(pc) if self._config.simplify else pc
         partition = self._partition_for([simplified])
-        return self._analyze_conjunction(simplified, partition)
+        plan, states = self._build_plan([simplified], partition)
+        self._run_rounds(plan, states)
+        (entry,) = plan
+        report = self._report_for(*entry)
+        if self._config.partition_and_cache:
+            for state in states:
+                if not state.cached:
+                    self._cache.put(state.factor, state.estimate())
+        return report
 
     # ------------------------------------------------------------------ #
-    # Algorithm 2: analysis of one conjunction
+    # Algorithm 2: planning — split PCs into unique resumable factors
     # ------------------------------------------------------------------ #
     def _partition_for(self, path_conditions: Sequence[ast.PathCondition]) -> DependencyPartition:
         if self._config.partition_and_cache:
             return compute_dependency_partition(path_conditions)
         # Without PARTCACHE every path condition is analysed as one factor over
         # all of its variables, so the partition is the trivial one-block
-        # partition of each PC (built lazily in _analyze_conjunction).
+        # partition of each PC (built lazily in _split_factors).
         return DependencyPartition(())
-
-    def _analyze_conjunction(
-        self, pc: ast.PathCondition, partition: DependencyPartition
-    ) -> PathConditionReport:
-        if not pc.constraints:
-            # A trivially true path condition covers the whole domain.
-            return PathConditionReport(pc, Estimate.one(), ())
-
-        factors = self._split_factors(pc, partition)
-        factor_reports = []
-        for variables, factor in factors:
-            factor_reports.append(self._estimate_factor(factor, variables))
-
-        estimate = compose_independent_factors(report.estimate for report in factor_reports)
-        return PathConditionReport(pc, estimate, tuple(factor_reports))
 
     def _split_factors(
         self, pc: ast.PathCondition, partition: DependencyPartition
@@ -264,40 +415,212 @@ class QCoralAnalyzer:
             return group_constraints_by_block(pc, tuple(partition))
         return [(frozenset(pc.free_variables()), pc)]
 
-    def _estimate_factor(
-        self, factor: ast.PathCondition, variables: FrozenSet[str]
-    ) -> FactorReport:
-        ordered_variables = tuple(sorted(variables & factor.free_variables())) or tuple(
-            sorted(factor.free_variables())
-        )
+    def _build_plan(
+        self, path_conditions: Sequence[ast.PathCondition], partition: DependencyPartition
+    ) -> Tuple[List[Tuple[ast.PathCondition, List[Tuple[_FactorState, bool]]]], List[_FactorState]]:
+        """Deduplicate factors into resumable states; keep per-PC occurrence lists.
 
+        Each plan entry pairs a path condition with its factors; an occurrence
+        is ``(state, first)`` where ``first`` marks the occurrence that owns
+        the state's samples (later occurrences are in-run cache shares).
+        """
+        states: Dict[str, _FactorState] = {}
+        plan: List[Tuple[ast.PathCondition, List[Tuple[_FactorState, bool]]]] = []
+        sharing = self._config.partition_and_cache
+        for index, pc in enumerate(path_conditions):
+            occurrences: List[Tuple[_FactorState, bool]] = []
+            if pc.constraints:
+                for variables, factor in self._split_factors(pc, partition):
+                    ordered = tuple(sorted(variables & factor.free_variables())) or tuple(
+                        sorted(factor.free_variables())
+                    )
+                    # Without caching, factors are never shared between PCs:
+                    # a per-PC key keeps every occurrence independent.
+                    key = EstimateCache.key_for(factor) if sharing else f"pc{index}:{factor.canonical()}"
+                    state = states.get(key)
+                    if state is None:
+                        state = self._new_state(key, factor, ordered)
+                        states[key] = state
+                        occurrences.append((state, True))
+                    else:
+                        self._cache.record_shared_hit()
+                        occurrences.append((state, False))
+            plan.append((pc, occurrences))
+        return plan, list(states.values())
+
+    def _new_state(self, key: str, factor: ast.PathCondition, variables: Tuple[str, ...]) -> _FactorState:
+        state = _FactorState(key, factor, variables)
         if self._config.partition_and_cache:
             cached = self._cache.get(factor)
             if cached is not None:
-                return FactorReport(frozenset(ordered_variables), factor, cached, True, 0)
-
-        estimate, samples = self._sample_factor(factor, ordered_variables)
-
-        if self._config.partition_and_cache:
-            self._cache.put(factor, estimate)
-        return FactorReport(frozenset(ordered_variables), factor, estimate, False, samples)
-
-    def _sample_factor(
-        self, factor: ast.PathCondition, variables: Tuple[str, ...]
-    ) -> Tuple[Estimate, int]:
-        budget = self._config.samples_per_query
+                state.exact = cached
+                state.cached = True
+                return state
         if self._config.stratified:
-            result = stratified_sampling(
-                factor,
-                self._profile,
-                budget,
-                self._rng,
-                variables=variables,
-                solver=self._solver,
+            sampler = StratifiedSampler(
+                factor, self._profile, self._rng, variables=variables, solver=self._solver
             )
-            return result.estimate, result.total_samples
-        result = hit_or_miss(factor, self._profile, budget, self._rng, variables=variables)
-        return result.estimate, result.samples
+            if sampler.is_exact:
+                state.exact = sampler.estimate()
+            else:
+                state.sampler = sampler
+        else:
+            if not variables:
+                from repro.lang.evaluator import holds_path_condition
+
+                state.exact = Estimate.exact(1.0 if holds_path_condition(factor, {}) else 0.0)
+            else:
+                state.predicate = compile_path_condition(factor)
+        return state
+
+    # ------------------------------------------------------------------ #
+    # The iterative sampling loop
+    # ------------------------------------------------------------------ #
+    def _run_rounds(
+        self,
+        plan: Sequence[Tuple[ast.PathCondition, List[Tuple[_FactorState, bool]]]],
+        states: Sequence[_FactorState],
+    ) -> Tuple[RoundReport, ...]:
+        active = [state for state in states if state.sampleable]
+        if not active:
+            return ()
+
+        config = self._config
+        total_budget = config.samples_per_query * len(active)
+        max_rounds = config.max_rounds
+        rounds: List[RoundReport] = []
+        spent = 0
+
+        for round_index in range(1, max_rounds + 1):
+            remaining = total_budget - spent
+            if remaining <= 0:
+                break
+            if round_index == max_rounds:
+                chunk = remaining
+            elif round_index == 1:
+                # Pilot: large enough for a σ estimate everywhere, small
+                # enough to leave most of the budget for re-allocation.
+                chunk = min(remaining, max(len(active), int(config.initial_fraction * total_budget)))
+            else:
+                chunk = max(1, remaining // (max_rounds - round_index + 1))
+
+            if round_index == 1:
+                priorities = [1.0] * len(active)
+            else:
+                priorities = self._factor_priorities(plan, active)
+            shares = allocate_budget(priorities, chunk)
+
+            used = 0
+            for state, share in zip(active, shares):
+                used += self._extend_factor(state, share)
+            spent += used
+
+            combined = self._combined_estimate(plan)
+            rounds.append(RoundReport(round_index, used, spent, combined))
+            if config.target_std is not None and combined.std <= config.target_std:
+                break
+            if used == 0:
+                break
+
+        return tuple(rounds)
+
+    def _extend_factor(self, state: _FactorState, budget: int) -> int:
+        if budget <= 0 or not state.sampleable:
+            return 0
+        if state.sampler is not None:
+            return state.sampler.extend(budget, allocation=self._config.allocation)
+        result = hit_or_miss(
+            state.factor,
+            self._profile,
+            budget,
+            self._rng,
+            variables=state.variables,
+            predicate=state.predicate,
+            prior=state.mc_result,
+        )
+        drawn = result.samples - (state.mc_result.samples if state.mc_result is not None else 0)
+        state.mc_result = result
+        return drawn
+
+    def _factor_priorities(
+        self,
+        plan: Sequence[Tuple[ast.PathCondition, List[Tuple[_FactorState, bool]]]],
+        active: Sequence[_FactorState],
+    ) -> List[float]:
+        """Generalised Neyman priorities for the active factors.
+
+        The combined variance is ``Σ_pc Var(pc)`` with ``Var(pc)`` given by
+        the product rule, so factor ``f`` contributes roughly
+        ``c_f · Var_f`` where ``c_f = Σ_{pc ∋ f} (Π_{g ≠ f} mean_g)²``.
+        Since ``Var_f`` shrinks like ``S_f² / n_f``, the variance-minimising
+        split of the next chunk is ``n_f ∝ √c_f · S_f`` — the factor-level
+        analogue of per-stratum Neyman allocation.
+        """
+        coefficients = {id(state): 0.0 for state in active}
+        for _, occurrences in plan:
+            unique = []
+            seen = set()
+            for state, _ in occurrences:
+                if id(state) not in seen:
+                    seen.add(id(state))
+                    unique.append(state)
+            means = [state.estimate().mean for state in unique]
+            for position, state in enumerate(unique):
+                if id(state) not in coefficients:
+                    continue
+                product = 1.0
+                for other, mean in enumerate(means):
+                    if other != position:
+                        product *= mean
+                coefficients[id(state)] += product * product
+
+        priorities = []
+        for state in active:
+            samples = state.samples
+            estimate = state.estimate()
+            if samples == 0:
+                per_sample_std = 0.5
+            else:
+                per_sample_std = estimate.std * math.sqrt(samples)
+            priorities.append(math.sqrt(coefficients[id(state)]) * per_sample_std)
+        return priorities
+
+    def _combined_estimate(
+        self, plan: Sequence[Tuple[ast.PathCondition, List[Tuple[_FactorState, bool]]]]
+    ) -> Estimate:
+        pc_estimates = []
+        for pc, occurrences in plan:
+            if not pc.constraints:
+                pc_estimates.append(Estimate.one())
+            else:
+                pc_estimates.append(
+                    compose_independent_factors(state.estimate() for state, _ in occurrences)
+                )
+        return compose_disjoint_path_conditions(pc_estimates)
+
+    # ------------------------------------------------------------------ #
+    # Report assembly
+    # ------------------------------------------------------------------ #
+    def _report_for(
+        self, pc: ast.PathCondition, occurrences: Sequence[Tuple[_FactorState, bool]]
+    ) -> PathConditionReport:
+        if not pc.constraints:
+            # A trivially true path condition covers the whole domain.
+            return PathConditionReport(pc, Estimate.one(), ())
+        factor_reports = []
+        for state, first in occurrences:
+            owns_samples = first and not state.cached
+            factor_reports.append(
+                FactorReport(
+                    variables=frozenset(state.variables),
+                    factor=state.factor,
+                    estimate=state.estimate(),
+                    from_cache=state.cached or not first,
+                    samples=state.samples if owns_samples else 0,
+                )
+            )
+        estimate = compose_independent_factors(report.estimate for report in factor_reports)
+        return PathConditionReport(pc, estimate, tuple(factor_reports))
 
 
 def quantify(

@@ -18,24 +18,40 @@ Two refinements the ICP output enables:
   microbenchmark has σ = 0;
 * degenerate empty pavings prove the constraint unsatisfiable, yielding the
   exact estimate 0.
+
+Beyond the paper's one-shot scheme, strata are *persistent*: a
+:class:`StratifiedSampler` keeps a mergeable accumulator per stratum and can
+receive additional budget round after round via :meth:`StratifiedSampler.extend`.
+Each round's budget is split either evenly across the sampleable strata (the
+paper's choice) or by **Neyman allocation** — proportional to each stratum's
+weighted standard deviation ``w_i · σ_i``, which minimises the combined
+variance ``Σ w_i² σ_i² / n_i`` for a fixed total budget.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.estimate import Estimate
+from repro.core.estimate import Estimate, RunningEstimate
 from repro.core.montecarlo import hit_or_miss
 from repro.core.profiles import UsageProfile
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ConfigurationError
 from repro.icp.config import ICPConfig, PAPER_CONFIG
 from repro.icp.solver import ICPSolver, Paving
 from repro.intervals.box import Box
 from repro.lang import ast
 from repro.lang.compiler import compile_path_condition
+
+#: Allocation policy names accepted throughout the stack.
+ALLOCATION_POLICIES = ("even", "neyman")
+
+#: σ assumed for a stratum that has not been sampled yet: the Bernoulli
+#: ceiling, so unexplored strata are prioritised by their weight alone.
+_PRIOR_SIGMA = 0.5
 
 
 @dataclass(frozen=True)
@@ -63,6 +79,252 @@ class StratifiedResult:
         return len(self.strata)
 
 
+class Stratum:
+    """One persistent stratum: an ICP box plus a resumable accumulator."""
+
+    __slots__ = ("box", "weight", "inner", "accumulator")
+
+    def __init__(self, box: Box, weight: float, inner: bool) -> None:
+        self.box = box
+        self.weight = weight
+        self.inner = inner
+        self.accumulator = RunningEstimate()
+
+    @property
+    def sampleable(self) -> bool:
+        """True when this stratum consumes budget (boundary box with mass)."""
+        return not self.inner and self.weight > 0.0
+
+    @property
+    def samples(self) -> int:
+        """Samples spent inside this stratum so far."""
+        return self.accumulator.samples
+
+    def sigma(self) -> float:
+        """Per-sample standard deviation, with the Bernoulli prior when unsampled."""
+        if not self.sampleable:
+            return 0.0
+        if self.accumulator.samples == 0:
+            return _PRIOR_SIGMA
+        return self.accumulator.per_sample_std
+
+    def estimate(self) -> Estimate:
+        """Current estimate of the conditional probability within the box."""
+        if self.inner:
+            return Estimate.one()
+        if self.weight == 0.0:
+            return Estimate.zero()
+        return self.accumulator.to_estimate()
+
+    def report(self) -> StratumReport:
+        """Immutable snapshot for :class:`StratifiedResult`."""
+        return StratumReport(self.box, self.weight, self.inner, self.estimate(), self.samples)
+
+
+# --------------------------------------------------------------------------- #
+# Budget allocation
+# --------------------------------------------------------------------------- #
+def allocate_budget(priorities: Sequence[float], budget: int) -> List[int]:
+    """Split ``budget`` samples proportionally to ``priorities``.
+
+    Largest-remainder rounding guarantees the shares sum to exactly ``budget``
+    — no sample of the budget is ever silently dropped.  Every entry with a
+    positive priority receives at least one sample whenever the budget is
+    large enough to afford it.  Entries with zero priority receive nothing;
+    when *all* priorities are zero the budget is split evenly instead.
+    """
+    if budget < 0:
+        raise ConfigurationError("allocation budget may not be negative")
+    count = len(priorities)
+    if count == 0 or budget == 0:
+        return [0] * count
+    if any(p < 0 or math.isnan(p) for p in priorities):
+        raise ConfigurationError("allocation priorities must be non-negative")
+
+    total = float(sum(priorities))
+    if total <= 0.0:
+        effective = [1.0] * count
+        total = float(count)
+    else:
+        effective = [float(p) for p in priorities]
+
+    shares = [p / total * budget for p in effective]
+    allocation = [int(share) for share in shares]
+    remainders = [share - base for share, base in zip(shares, allocation)]
+    leftover = budget - sum(allocation)
+    for index in sorted(range(count), key=lambda i: remainders[i], reverse=True)[:leftover]:
+        allocation[index] += 1
+
+    # Guarantee a minimum of one sample per active entry so every stratum's σ
+    # stays estimable, stealing from the largest shares when necessary.
+    active = [index for index, p in enumerate(effective) if p > 0.0]
+    if budget >= len(active):
+        starved = [index for index in active if allocation[index] == 0]
+        donors = sorted(active, key=lambda i: allocation[i], reverse=True)
+        for index in starved:
+            for donor in donors:
+                if allocation[donor] > 1:
+                    allocation[donor] -= 1
+                    allocation[index] += 1
+                    break
+    return allocation
+
+
+def allocation_priorities(strata: Sequence[Stratum], policy: str) -> List[float]:
+    """Per-stratum allocation priorities under ``policy``.
+
+    ``"even"`` gives every sampleable stratum the same priority (the paper's
+    equal split); ``"neyman"`` weights each sampleable stratum by
+    ``w_i · σ_i`` — the allocation that minimises the combined variance of
+    Equation (3) — using the running per-stratum σ (unsampled strata assume
+    the Bernoulli ceiling).
+    """
+    if policy not in ALLOCATION_POLICIES:
+        raise ConfigurationError(f"unknown allocation policy {policy!r}; expected one of {ALLOCATION_POLICIES}")
+    if policy == "even":
+        return [1.0 if stratum.sampleable else 0.0 for stratum in strata]
+    return [stratum.weight * stratum.sigma() if stratum.sampleable else 0.0 for stratum in strata]
+
+
+# --------------------------------------------------------------------------- #
+# The persistent sampler
+# --------------------------------------------------------------------------- #
+class StratifiedSampler:
+    """Resumable ICP-stratified estimator of one path condition.
+
+    The paving is computed once at construction; every call to :meth:`extend`
+    then distributes an additional sample budget over the persistent strata
+    and folds the new counts into the per-stratum accumulators.  The current
+    combined estimate is available at any time through :meth:`estimate` /
+    :meth:`result`, so callers can interleave sampling with convergence
+    checks — the unit of work a future parallel backend would ship to a
+    worker pool.
+    """
+
+    def __init__(
+        self,
+        pc: ast.PathCondition,
+        profile: UsageProfile,
+        rng: np.random.Generator,
+        variables: Optional[Sequence[str]] = None,
+        icp_config: ICPConfig = PAPER_CONFIG,
+        solver: Optional[ICPSolver] = None,
+    ) -> None:
+        self._pc = pc
+        self._profile = profile
+        self._rng = rng
+        self._names: Tuple[str, ...] = (
+            tuple(variables) if variables is not None else tuple(sorted(pc.free_variables()))
+        )
+        profile.check_covers(self._names)
+
+        self._strata: List[Stratum] = []
+        self._exact: Optional[Estimate] = None
+        self._predicate = None
+
+        if not self._names:
+            from repro.lang.evaluator import holds_path_condition
+
+            self._exact = Estimate.exact(1.0 if holds_path_condition(pc, {}) else 0.0)
+            return
+
+        domain = profile.restrict(self._names).domain()
+        icp_solver = solver if solver is not None else ICPSolver(icp_config)
+        paving: Paving = icp_solver.pave(pc, domain)
+
+        if paving.is_unsatisfiable():
+            self._exact = Estimate.zero()
+            return
+
+        for paved in paving.boxes:
+            self._strata.append(Stratum(paved.box, profile.weight(paved.box), paved.inner))
+
+        if not any(stratum.sampleable for stratum in self._strata):
+            # Every box is inner or mass-free: the paving resolves the
+            # probability exactly and no budget will ever be consumed.
+            self._exact = Estimate.exact(
+                sum(stratum.weight for stratum in self._strata if stratum.inner)
+            )
+            return
+
+        self._predicate = compile_path_condition(pc)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def strata(self) -> Tuple[Stratum, ...]:
+        """The persistent strata (empty when the estimate is exact)."""
+        return tuple(self._strata)
+
+    @property
+    def is_exact(self) -> bool:
+        """True when ICP resolved the probability without any sampling."""
+        return self._exact is not None
+
+    @property
+    def total_samples(self) -> int:
+        """Samples consumed across all strata so far."""
+        return sum(stratum.samples for stratum in self._strata)
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def extend(self, budget: int, allocation: str = "even") -> int:
+        """Spend ``budget`` more samples across the strata; returns samples used.
+
+        The whole budget is divided across the *sampleable* strata only —
+        inner and mass-free boxes consume nothing — so the returned count
+        equals ``budget`` whenever at least one stratum is sampleable.
+        """
+        if budget < 0:
+            raise AnalysisError("stratified budget may not be negative")
+        if self._exact is not None or budget == 0:
+            return 0
+
+        shares = allocate_budget(allocation_priorities(self._strata, allocation), budget)
+        used = 0
+        for stratum, share in zip(self._strata, shares):
+            if share == 0:
+                continue
+            result = hit_or_miss(
+                self._pc,
+                self._profile,
+                share,
+                self._rng,
+                box=stratum.box,
+                variables=self._names,
+                predicate=self._predicate,
+            )
+            stratum.accumulator.absorb_counts(result.hits, result.samples)
+            used += result.samples
+        return used
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def estimate(self) -> Estimate:
+        """Combined stratified estimate per Equation (3)."""
+        if self._exact is not None:
+            return self._exact
+        total = Estimate.zero()
+        for stratum in self._strata:
+            if stratum.weight == 0.0:
+                continue
+            total = total.add_disjoint(stratum.estimate().scale(stratum.weight))
+        return total
+
+    def result(self) -> StratifiedResult:
+        """Snapshot of the combined estimate plus per-stratum details."""
+        if self._exact is not None:
+            return StratifiedResult(self._exact, tuple(s.report() for s in self._strata), 0)
+        return StratifiedResult(
+            self.estimate(),
+            tuple(stratum.report() for stratum in self._strata),
+            self.total_samples,
+        )
+
+
 def stratified_sampling(
     pc: ast.PathCondition,
     profile: UsageProfile,
@@ -71,89 +333,33 @@ def stratified_sampling(
     variables: Optional[Sequence[str]] = None,
     icp_config: ICPConfig = PAPER_CONFIG,
     solver: Optional[ICPSolver] = None,
+    allocation: str = "even",
 ) -> StratifiedResult:
     """Estimate the probability of ``pc`` with ICP-stratified sampling.
+
+    One-shot convenience wrapper around :class:`StratifiedSampler`: pave,
+    spend the whole budget in a single round, and return the snapshot.
 
     Args:
         pc: Conjunction of constraints to estimate (one independent factor).
         profile: Usage profile covering the free variables of ``pc``.
-        samples: Total sampling budget; split evenly across the strata, as the
-            paper assumes for the combination formula of Equation (3).
+        samples: Total sampling budget, split across the sampleable strata
+            according to ``allocation`` (inner and mass-free boxes consume no
+            budget, so the full budget lands on boxes that need it).
         rng: NumPy random generator.
         variables: Variables to quantify over; defaults to the free variables
             of ``pc``.
         icp_config: Configuration for a solver created on the fly.
         solver: Optional pre-built ICP solver (overrides ``icp_config``).
+        allocation: ``"even"`` (the paper's equal split) or ``"neyman"``.
 
     Returns:
         A :class:`StratifiedResult` with the combined estimate.
     """
     if samples <= 0:
         raise AnalysisError("stratified sampling needs a positive sample budget")
-
-    names: Tuple[str, ...] = tuple(variables) if variables is not None else tuple(sorted(pc.free_variables()))
-    profile.check_covers(names)
-
-    if not names:
-        from repro.lang.evaluator import holds_path_condition
-
-        mean = 1.0 if holds_path_condition(pc, {}) else 0.0
-        return StratifiedResult(Estimate.exact(mean), (), 0)
-
-    domain = profile.restrict(names).domain()
-    icp_solver = solver if solver is not None else ICPSolver(icp_config)
-    paving = icp_solver.pave(pc, domain)
-
-    if paving.is_unsatisfiable():
-        return StratifiedResult(Estimate.zero(), (), 0)
-
-    return combine_strata(pc, paving, profile, samples, rng, names)
-
-
-def combine_strata(
-    pc: ast.PathCondition,
-    paving: Paving,
-    profile: UsageProfile,
-    samples: int,
-    rng: np.random.Generator,
-    variables: Sequence[str],
-) -> StratifiedResult:
-    """Sample each paving box and combine the estimators per Equation (3)."""
-    boxes = list(paving.boxes)
-    sampled_boxes = [paved for paved in boxes if not paved.inner]
-    per_box_samples = max(1, samples // len(boxes)) if boxes else samples
-
-    predicate = compile_path_condition(pc)
-    total = Estimate.zero()
-    reports = []
-    total_samples = 0
-
-    for paved in boxes:
-        weight = profile.weight(paved.box)
-        if weight == 0.0:
-            reports.append(StratumReport(paved.box, 0.0, paved.inner, Estimate.zero(), 0))
-            continue
-        if paved.inner:
-            stratum_estimate = Estimate.one()
-            used_samples = 0
-        else:
-            result = hit_or_miss(
-                pc,
-                profile,
-                per_box_samples,
-                rng,
-                box=paved.box,
-                variables=variables,
-                predicate=predicate,
-            )
-            stratum_estimate = result.estimate
-            used_samples = result.samples
-            total_samples += used_samples
-        total = Estimate(
-            total.mean + weight * stratum_estimate.mean,
-            total.variance + weight * weight * stratum_estimate.variance,
-        )
-        reports.append(StratumReport(paved.box, weight, paved.inner, stratum_estimate, used_samples))
-
-    # The uncovered remainder of the domain is solution-free: mean 0, variance 0.
-    return StratifiedResult(total, tuple(reports), total_samples)
+    sampler = StratifiedSampler(
+        pc, profile, rng, variables=variables, icp_config=icp_config, solver=solver
+    )
+    sampler.extend(samples, allocation=allocation)
+    return sampler.result()
