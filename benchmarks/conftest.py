@@ -29,30 +29,41 @@ import pytest
 #: True when the benchmarks should run at paper scale.
 FULL_SCALE = os.environ.get("QCORAL_BENCH_FULL", "0") not in ("0", "", "false", "False")
 
-#: Summary payloads registered by benchmarks during this session.
-BENCH_RESULTS: Dict[str, Any] = {}
+#: Default summary file (the adaptive-sampler trajectory, kept for history).
+DEFAULT_SUMMARY = "BENCH_adaptive.json"
 
-#: Where the machine-readable benchmark summary lands.
-BENCH_SUMMARY_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_adaptive.json")
+#: Summary payloads registered this session, grouped by summary file name.
+BENCH_RESULTS: Dict[str, Dict[str, Any]] = {}
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+#: Where the default machine-readable benchmark summary lands.
+BENCH_SUMMARY_PATH = os.path.join(_BENCH_DIR, DEFAULT_SUMMARY)
 
 
-def record_bench(name: str, payload: Any) -> None:
-    """Register one benchmark's machine-readable summary for the JSON dump."""
-    BENCH_RESULTS[name] = payload
+def record_bench(name: str, payload: Any, summary: str = DEFAULT_SUMMARY) -> None:
+    """Register one benchmark's machine-readable summary for the JSON dump.
+
+    ``summary`` selects the output file (``BENCH_adaptive.json`` by default;
+    the parallel-scaling benchmark writes ``BENCH_parallel.json``), so each
+    benchmark family tracks its own trajectory across commits.
+    """
+    BENCH_RESULTS.setdefault(summary, {})[name] = payload
 
 
-def write_bench_summary() -> str:
-    """Write all registered summaries to :data:`BENCH_SUMMARY_PATH`."""
-    with open(BENCH_SUMMARY_PATH, "w", encoding="utf-8") as handle:
-        json.dump(BENCH_RESULTS, handle, indent=2, sort_keys=True)
+def write_bench_summary(summary: str = DEFAULT_SUMMARY) -> str:
+    """Write the payloads registered under ``summary`` to its JSON file."""
+    path = os.path.join(_BENCH_DIR, summary)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(BENCH_RESULTS.get(summary, {}), handle, indent=2, sort_keys=True)
         handle.write("\n")
-    return BENCH_SUMMARY_PATH
+    return path
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Emit the benchmark summary when any benchmark registered results."""
-    if BENCH_RESULTS:
-        path = write_bench_summary()
+    """Emit every benchmark summary that registered results."""
+    for summary in BENCH_RESULTS:
+        path = write_bench_summary(summary)
         print(f"\nbenchmark summary written to {path}")
 
 

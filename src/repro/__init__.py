@@ -15,6 +15,15 @@ d'Amorim, Păsăreanu, Visser).  The public API is re-exported here:
 """
 
 from repro.core.estimate import Estimate
+from repro.exec import (
+    EXECUTOR_KINDS,
+    Executor,
+    ProcessPoolExecutor,
+    SeedStream,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    make_executor,
+)
 from repro.core.profiles import (
     PiecewiseUniformDistribution,
     TruncatedNormalDistribution,
@@ -42,6 +51,13 @@ __all__ = [
     "QCoralConfig",
     "QCoralResult",
     "quantify",
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "EXECUTOR_KINDS",
+    "make_executor",
+    "SeedStream",
     "Constraint",
     "PathCondition",
     "ConstraintSet",

@@ -6,7 +6,13 @@ from repro.analysis.pipeline import (
     analyze_program,
 )
 from repro.analysis.results import Table, TableRow, format_interval
-from repro.analysis.runner import RepeatedResult, TrialOutcome, repeat_analysis
+from repro.analysis.runner import (
+    RepeatedResult,
+    TrialOutcome,
+    repeat_analysis,
+    repeat_quantification,
+    trial_seeds,
+)
 
 __all__ = [
     "ProbabilisticAnalysisPipeline",
@@ -15,6 +21,8 @@ __all__ = [
     "RepeatedResult",
     "TrialOutcome",
     "repeat_analysis",
+    "repeat_quantification",
+    "trial_seeds",
     "Table",
     "TableRow",
     "format_interval",

@@ -16,6 +16,7 @@ from repro.core.estimate import Estimate
 from repro.core.profiles import UsageProfile
 from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult, RoundReport
 from repro.errors import AnalysisError
+from repro.exec.executor import Executor
 from repro.symexec.ast import Program
 from repro.symexec.parser import parse_program
 from repro.symexec.symbolic import SymbolicExecutionResult, execute_program
@@ -52,6 +53,15 @@ class PipelineResult:
         return self.qcoral_result.round_reports
 
     @property
+    def executor_label(self) -> Optional[str]:
+        """Resolved backend the analysis sampled on (None = in-thread path).
+
+        Comes from the analyzer's executor instance, so a pool passed to the
+        pipeline constructor is reported even when the config names none.
+        """
+        return self.qcoral_result.executor
+
+    @property
     def confidence_note(self) -> str:
         """Human-readable statement of the bounded-path probability mass."""
         return (
@@ -70,12 +80,14 @@ class ProbabilisticAnalysisPipeline:
         config: QCoralConfig = QCoralConfig(),
         max_depth: int = 50,
         max_paths: int = 100_000,
+        executor: Optional[Executor] = None,
     ) -> None:
         self._program = parse_program(program) if isinstance(program, str) else program
         self._profile = profile if profile is not None else UsageProfile.uniform(self._program.input_bounds())
         self._config = config
         self._max_depth = max_depth
         self._max_paths = max_paths
+        self._executor = executor
         self._symbolic_result: Optional[SymbolicExecutionResult] = None
         self._analyzer: Optional[QCoralAnalyzer] = None
 
@@ -105,10 +117,25 @@ class ProbabilisticAnalysisPipeline:
         path-condition factors quantified once are reused instead of being
         re-sampled by a second analyzer with the same seed — which previously
         also replayed the identical RNG stream.
+
+        The executor backend is plumbed from the configuration (or a
+        pool passed to the pipeline constructor is borrowed), so every
+        analysis of this pipeline samples on the same worker pool.
         """
         if self._analyzer is None:
-            self._analyzer = QCoralAnalyzer(self._profile, self._config)
+            self._analyzer = QCoralAnalyzer(self._profile, self._config, executor=self._executor)
         return self._analyzer
+
+    def close(self) -> None:
+        """Shut down any executor pool the pipeline's analyzer created."""
+        if self._analyzer is not None:
+            self._analyzer.close()
+
+    def __enter__(self) -> "ProbabilisticAnalysisPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def analyze(self, event: str) -> PipelineResult:
         """Quantify the probability that ``event`` occurs during execution."""
@@ -144,6 +171,9 @@ def analyze_program(
     config: QCoralConfig = QCoralConfig(),
     max_depth: int = 50,
 ) -> PipelineResult:
-    """One-shot convenience wrapper around :class:`ProbabilisticAnalysisPipeline`."""
-    pipeline = ProbabilisticAnalysisPipeline(source, profile, config, max_depth=max_depth)
-    return pipeline.analyze(event)
+    """One-shot convenience wrapper around :class:`ProbabilisticAnalysisPipeline`.
+
+    Any executor pool the configuration requests is shut down on return.
+    """
+    with ProbabilisticAnalysisPipeline(source, profile, config, max_depth=max_depth) as pipeline:
+        return pipeline.analyze(event)

@@ -5,18 +5,42 @@ The paper reports averages over 30 executions of its randomised algorithm
 callable with distinct seeds and aggregates the estimates the same way: the
 mean of the per-run estimates, the standard deviation *across* runs, the mean
 of the per-run reported standard deviations, and the mean wall-clock time.
+
+Per-trial seeds are spawned from one :class:`numpy.random.SeedSequence`
+rooted at ``base_seed`` (see :func:`trial_seeds`), so trials are statistically
+independent yet fully reproducible, and the seed of trial *i* never depends
+on how many trials run or where they run.  Because trials are independent,
+they can be dispatched on any :class:`~repro.exec.executor.Executor` backend;
+the process backend additionally requires the ``run`` callable to be
+picklable (a module-level function, not a lambda).
 """
 
 from __future__ import annotations
 
+import functools
 import math
 import statistics
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
+from repro.exec.seeds import SeedStream
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.core.qcoral import QCoralResult
+    from repro.exec.executor import Executor
+
+
+def trial_seeds(runs: int, base_seed: int = 0) -> List[int]:
+    """Independent integer seeds for ``runs`` trials, spawned from ``base_seed``.
+
+    Each seed is derived from one child of ``SeedSequence(base_seed)``; the
+    list is a pure function of ``(runs, base_seed)`` and a prefix-stable one:
+    the first ``k`` seeds are the same for any ``runs >= k``.
+    """
+    if runs < 0:
+        raise ValueError("trial count may not be negative")
+    return SeedStream(base_seed).spawn_seeds(runs)
 
 
 @dataclass(frozen=True)
@@ -86,34 +110,63 @@ class RepeatedResult:
         )
 
 
+def _run_trials(
+    trial: Callable[[int], TrialOutcome],
+    seeds: Sequence[int],
+    executor: Optional["Executor"],
+) -> Tuple[TrialOutcome, ...]:
+    """Dispatch seeded trials on the executor (in-thread when None), in order."""
+    if executor is None:
+        return tuple(trial(seed) for seed in seeds)
+    return tuple(executor.map(trial, list(seeds)))
+
+
+def _timed_plain_trial(run: Callable[[int], Tuple[float, float]], seed: int) -> TrialOutcome:
+    started = time.perf_counter()
+    estimate, reported_std = run(seed)
+    elapsed = time.perf_counter() - started
+    if math.isnan(estimate) or math.isnan(reported_std):
+        raise ValueError(f"trial with seed {seed} produced NaN results")
+    return TrialOutcome(estimate, reported_std, elapsed)
+
+
 def repeat_analysis(
     run: Callable[[int], Tuple[float, float]],
     runs: int = 30,
     base_seed: int = 0,
+    executor: Optional["Executor"] = None,
 ) -> RepeatedResult:
-    """Run ``run(seed)`` for ``runs`` distinct seeds and aggregate the outcomes.
+    """Run ``run(seed)`` for ``runs`` independent seeds and aggregate the outcomes.
 
     ``run`` must return a ``(estimate, reported_std)`` pair; wall-clock time is
-    measured here so every analysis is timed consistently.
+    measured here so every analysis is timed consistently.  Seeds come from
+    :func:`trial_seeds`, and independent trials are dispatched through
+    ``executor`` when one is given (trial order is preserved either way).
     """
     if runs < 1:
         raise ValueError("at least one run is required")
-    outcomes: List[TrialOutcome] = []
-    for index in range(runs):
-        seed = base_seed + index
-        started = time.perf_counter()
-        estimate, reported_std = run(seed)
-        elapsed = time.perf_counter() - started
-        if math.isnan(estimate) or math.isnan(reported_std):
-            raise ValueError(f"trial with seed {seed} produced NaN results")
-        outcomes.append(TrialOutcome(estimate, reported_std, elapsed))
-    return RepeatedResult(tuple(outcomes))
+    outcomes = _run_trials(
+        functools.partial(_timed_plain_trial, run), trial_seeds(runs, base_seed), executor
+    )
+    return RepeatedResult(outcomes)
+
+
+def _timed_quantification_trial(
+    run: Callable[[int], "QCoralResult"], seed: int
+) -> TrialOutcome:
+    started = time.perf_counter()
+    result = run(seed)
+    elapsed = time.perf_counter() - started
+    if math.isnan(result.mean) or math.isnan(result.std):
+        raise ValueError(f"trial with seed {seed} produced NaN results")
+    return TrialOutcome(result.mean, result.std, elapsed, result.total_samples, result.rounds)
 
 
 def repeat_quantification(
     run: Callable[[int], "QCoralResult"],
     runs: int = 30,
     base_seed: int = 0,
+    executor: Optional["Executor"] = None,
 ) -> RepeatedResult:
     """Like :func:`repeat_analysis` for callables returning a full result.
 
@@ -124,15 +177,7 @@ def repeat_quantification(
     """
     if runs < 1:
         raise ValueError("at least one run is required")
-    outcomes: List[TrialOutcome] = []
-    for index in range(runs):
-        seed = base_seed + index
-        started = time.perf_counter()
-        result = run(seed)
-        elapsed = time.perf_counter() - started
-        if math.isnan(result.mean) or math.isnan(result.std):
-            raise ValueError(f"trial with seed {seed} produced NaN results")
-        outcomes.append(
-            TrialOutcome(result.mean, result.std, elapsed, result.total_samples, result.rounds)
-        )
-    return RepeatedResult(tuple(outcomes))
+    outcomes = _run_trials(
+        functools.partial(_timed_quantification_trial, run), trial_seeds(runs, base_seed), executor
+    )
+    return RepeatedResult(outcomes)

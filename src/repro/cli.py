@@ -23,6 +23,7 @@ from repro.analysis.results import convergence_table
 from repro.core.profiles import UsageProfile
 from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult
 from repro.errors import ReproError
+from repro.exec.executor import EXECUTOR_KINDS
 from repro.lang.parser import parse_constraint_set
 
 
@@ -49,6 +50,8 @@ def _config_from_args(args: argparse.Namespace) -> QCoralConfig:
         max_rounds=args.max_rounds,
         initial_fraction=args.initial_fraction,
         allocation=args.allocation,
+        executor=args.executor,
+        workers=args.workers,
     )
 
 
@@ -88,6 +91,22 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the per-round convergence table of an adaptive run",
     )
+    parser.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_KINDS),
+        default=None,
+        help=(
+            "execution backend for sampling work; any choice switches to the "
+            "sharded deterministic path (same seed => identical results on "
+            "every backend and worker count)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for --executor thread/process (default: CPU count)",
+    )
 
 
 def _print_rounds(args: argparse.Namespace, result: QCoralResult) -> None:
@@ -109,6 +128,8 @@ def _command_analyze(args: argparse.Namespace) -> int:
     print(f"paths:        {len(result.qcoral_result.path_reports)}")
     print(f"probability:  {result.mean:.6f}")
     print(f"std:          {result.std:.3e}")
+    if result.executor_label is not None:
+        print(f"executor:     {result.executor_label}")
     if result.rounds > 1:
         print(f"rounds:       {result.rounds}")
     print(f"time:         {result.qcoral_result.analysis_time:.2f}s")
@@ -130,13 +151,15 @@ def _command_quantify(args: argparse.Namespace) -> int:
     bounds = _parse_domain(args.domain)
     profile = UsageProfile.uniform(bounds)
     config = _config_from_args(args)
-    analyzer = QCoralAnalyzer(profile, config)
-    result = analyzer.analyze(constraint_set)
+    with QCoralAnalyzer(profile, config) as analyzer:
+        result = analyzer.analyze(constraint_set)
     print(f"configuration: {config.feature_label()}")
     print(f"paths:         {len(constraint_set)}")
     print(f"probability:   {result.mean:.6f}")
     print(f"std:           {result.std:.3e}")
     print(f"samples:       {result.total_samples}")
+    if result.executor is not None:
+        print(f"executor:      {result.executor}")
     if result.rounds > 1:
         print(f"rounds:        {result.rounds}")
     print(f"time:          {result.analysis_time:.2f}s")

@@ -13,7 +13,12 @@ from repro.core.dependency import (
     partition_for_constraint_set,
 )
 from repro.core.estimate import Estimate, RunningEstimate, product_independent, sum_disjoint
-from repro.core.montecarlo import SamplingResult, hit_or_miss, hit_or_miss_constraint_set
+from repro.core.montecarlo import (
+    SamplingResult,
+    hit_or_miss,
+    hit_or_miss_constraint_set,
+    hit_or_miss_sharded,
+)
 from repro.core.profiles import (
     Distribution,
     PiecewiseUniformDistribution,
@@ -54,6 +59,7 @@ __all__ = [
     "SamplingResult",
     "hit_or_miss",
     "hit_or_miss_constraint_set",
+    "hit_or_miss_sharded",
     "StratifiedResult",
     "StratifiedSampler",
     "Stratum",

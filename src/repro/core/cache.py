@@ -6,10 +6,16 @@ reuses it whenever the same factor reappears — either in another path
 condition or in the same one after simplification.  The cache key is the
 canonical text of the simplified factor, so syntactic duplicates share an
 entry regardless of conjunct order.
+
+The cache is thread-safe: lookups, inserts, and the hit/miss counters are
+guarded by one reentrant lock, so a :class:`~repro.core.qcoral.QCoralAnalyzer`
+(or several) may share an instance under the thread executor backend without
+corrupting entries or statistics.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -44,6 +50,8 @@ class EstimateCache:
     def __init__(self) -> None:
         self._entries: Dict[str, Estimate] = {}
         self._statistics = CacheStatistics()
+        # Reentrant so get_or_compute may call get/put while holding it.
+        self._lock = threading.RLock()
 
     @property
     def statistics(self) -> CacheStatistics:
@@ -51,10 +59,13 @@ class EstimateCache:
         return self._statistics
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, factor: ast.PathCondition) -> bool:
-        return self.key_for(factor) in self._entries
+        key = self.key_for(factor)
+        with self._lock:
+            return key in self._entries
 
     @staticmethod
     def key_for(factor: ast.PathCondition) -> str:
@@ -64,16 +75,19 @@ class EstimateCache:
     def get(self, factor: ast.PathCondition) -> Optional[Estimate]:
         """Cached estimate for ``factor`` or None, updating the counters."""
         key = self.key_for(factor)
-        entry = self._entries.get(key)
-        if entry is None:
-            self._statistics.misses += 1
-        else:
-            self._statistics.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._statistics.misses += 1
+            else:
+                self._statistics.hits += 1
+            return entry
 
     def put(self, factor: ast.PathCondition, estimate: Estimate) -> None:
         """Store the estimate for ``factor``."""
-        self._entries[self.key_for(factor)] = estimate
+        key = self.key_for(factor)
+        with self._lock:
+            self._entries[key] = estimate
 
     def record_shared_hit(self) -> None:
         """Count a reuse that bypassed the store (an in-run shared factor).
@@ -83,12 +97,19 @@ class EstimateCache:
         this keeps the hit/miss statistics equivalent to per-occurrence
         lookups.
         """
-        self._statistics.hits += 1
+        with self._lock:
+            self._statistics.hits += 1
 
     def get_or_compute(
         self, factor: ast.PathCondition, compute: Callable[[], Estimate]
     ) -> Estimate:
-        """Return the cached estimate or compute, store, and return a new one."""
+        """Return the cached estimate or compute, store, and return a new one.
+
+        ``compute`` runs outside the lock (it may sample for a long time), so
+        two threads racing on the same missing factor may both compute it;
+        the last store wins, which is safe because both computed the same
+        factor.
+        """
         cached = self.get(factor)
         if cached is not None:
             return cached
@@ -98,5 +119,6 @@ class EstimateCache:
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._entries.clear()
-        self._statistics = CacheStatistics()
+        with self._lock:
+            self._entries.clear()
+            self._statistics = CacheStatistics()

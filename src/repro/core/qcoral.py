@@ -52,6 +52,9 @@ from repro.core.montecarlo import SamplingResult, hit_or_miss
 from repro.core.profiles import UsageProfile
 from repro.core.stratified import ALLOCATION_POLICIES, StratifiedSampler, allocate_budget
 from repro.errors import AnalysisError, ConfigurationError
+from repro.exec.executor import EXECUTOR_KINDS, Executor, resolve_executor
+from repro.exec.scheduler import SamplingTask, run_sampling_tasks, shard_budget
+from repro.exec.seeds import SeedStream
 from repro.icp.config import ICPConfig, PAPER_CONFIG
 from repro.icp.solver import ICPSolver
 from repro.lang import ast
@@ -94,6 +97,17 @@ class QCoralConfig:
         allocation: Budget split across strata and factors: ``"even"`` (the
             paper's equal split) or ``"neyman"`` (proportional to the weighted
             standard deviation ``w_i σ_i``).
+        executor: Execution backend for sampling work: None (the in-thread
+            single-stream path, left untouched by the executor subsystem) or
+            one of ``"serial"``, ``"thread"``, ``"process"``.  Any non-None
+            value switches to the sharded deterministic path: for a fixed
+            ``seed`` all three backends produce bit-identical results at any
+            worker count (the two paths consume different random streams, so
+            their results differ from each other for the same seed).
+        workers: Worker count for the thread/process backends (None = the
+            machine's CPU count).
+        chunk_size: Samples per sharded task on the executor path (None =
+            :data:`repro.exec.scheduler.DEFAULT_CHUNK_SIZE`).
     """
 
     samples_per_query: int = 30_000
@@ -106,6 +120,9 @@ class QCoralConfig:
     max_rounds: int = 1
     initial_fraction: float = 0.25
     allocation: str = "even"
+    executor: Optional[str] = None
+    workers: Optional[int] = None
+    chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.samples_per_query <= 0:
@@ -120,6 +137,16 @@ class QCoralConfig:
             raise ConfigurationError(
                 f"unknown allocation policy {self.allocation!r}; expected one of {ALLOCATION_POLICIES}"
             )
+        if self.executor is not None and self.executor not in EXECUTOR_KINDS:
+            raise ConfigurationError(
+                f"unknown executor kind {self.executor!r}; expected one of {EXECUTOR_KINDS}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError("workers must be positive when set")
+        if self.workers is not None and self.executor is None:
+            raise ConfigurationError("workers requires an executor backend to apply to")
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise ConfigurationError("chunk_size must be positive when set")
         if self.max_rounds == 1 and (self.target_std is not None or self.allocation == "neyman"):
             # An adaptive feature without rounds cannot act; give it rounds.
             object.__setattr__(self, "max_rounds", DEFAULT_ADAPTIVE_ROUNDS)
@@ -184,6 +211,10 @@ class QCoralConfig:
         """Copy of this configuration with a different random seed."""
         return replace(self, seed=seed)
 
+    def with_executor(self, executor: Optional[str], workers: Optional[int] = None) -> "QCoralConfig":
+        """Copy of this configuration running on the given executor backend."""
+        return replace(self, executor=executor, workers=workers)
+
 
 @dataclass(frozen=True)
 class FactorReport:
@@ -241,6 +272,10 @@ class QCoralResult:
     analysis_time: float
     config: QCoralConfig
     round_reports: Tuple[RoundReport, ...] = ()
+    #: Resolved backend label (``process×4``) the sampling actually ran on —
+    #: taken from the analyzer's executor instance, so a borrowed pool is
+    #: reported too; None on the in-thread single-stream path.
+    executor: Optional[str] = None
 
     @property
     def mean(self) -> float:
@@ -269,17 +304,18 @@ class QCoralResult:
         return target is not None and self.std <= target
 
     def __repr__(self) -> str:
+        suffix = f", exec={self.executor}" if self.executor is not None else ""
         return (
             f"QCoralResult(mean={self.mean:.6f}, std={self.std:.3e}, "
             f"paths={len(self.path_reports)}, rounds={self.rounds}, "
-            f"time={self.analysis_time:.2f}s)"
+            f"time={self.analysis_time:.2f}s{suffix})"
         )
 
 
 class _FactorState:
     """Resumable estimator of one unique factor during an analysis run."""
 
-    __slots__ = ("key", "factor", "variables", "exact", "cached", "sampler", "mc_result", "predicate")
+    __slots__ = ("key", "factor", "variables", "exact", "cached", "sampler", "mc_result", "predicate", "stream")
 
     def __init__(self, key: str, factor: ast.PathCondition, variables: Tuple[str, ...]) -> None:
         self.key = key
@@ -290,6 +326,7 @@ class _FactorState:
         self.sampler: Optional[StratifiedSampler] = None
         self.mc_result: Optional[SamplingResult] = None
         self.predicate = None
+        self.stream: Optional[SeedStream] = None
 
     @property
     def sampleable(self) -> bool:
@@ -318,14 +355,36 @@ class _FactorState:
 
 
 class QCoralAnalyzer:
-    """Compositional statistical quantification of constraint solution spaces."""
+    """Compositional statistical quantification of constraint solution spaces.
 
-    def __init__(self, profile: UsageProfile, config: QCoralConfig = QCoralConfig()) -> None:
+    When the configuration names an executor backend (or one is passed in),
+    every sampling round is planned as seeded, worker-count-independent task
+    chunks and dispatched through :mod:`repro.exec`; for a fixed seed the
+    analysis is then bit-identical across the serial, thread, and process
+    backends.  Without an executor the analyzer keeps the in-thread
+    single-stream sampling path, untouched by the executor subsystem.
+    """
+
+    def __init__(
+        self,
+        profile: UsageProfile,
+        config: QCoralConfig = QCoralConfig(),
+        executor: Optional[Executor] = None,
+    ) -> None:
         self._profile = profile
         self._config = config
         self._cache = EstimateCache()
         self._solver = ICPSolver(config.icp)
         self._rng = np.random.default_rng(config.seed)
+        self._seed_stream = SeedStream(config.seed)
+        if executor is not None:
+            # A caller-supplied executor (e.g. a pool shared across
+            # analyzers) is borrowed, never shut down here.
+            self._executor: Optional[Executor] = executor
+            self._owns_executor = False
+        else:
+            self._executor = resolve_executor(config.executor, config.workers)
+            self._owns_executor = self._executor is not None
 
     @property
     def profile(self) -> UsageProfile:
@@ -337,10 +396,28 @@ class QCoralAnalyzer:
         """The analysis configuration."""
         return self._config
 
+    @property
+    def executor(self) -> Optional[Executor]:
+        """The execution backend (None on the legacy in-thread path)."""
+        return self._executor
+
     def reset(self, seed: Optional[int] = None) -> None:
-        """Clear the factor cache and re-seed the random generator."""
+        """Clear the factor cache and re-seed the random streams."""
         self._cache.clear()
-        self._rng = np.random.default_rng(self._config.seed if seed is None else seed)
+        effective = self._config.seed if seed is None else seed
+        self._rng = np.random.default_rng(effective)
+        self._seed_stream = SeedStream(effective)
+
+    def close(self) -> None:
+        """Shut down an executor this analyzer created (borrowed ones stay up)."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "QCoralAnalyzer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Algorithm 1: main loop over the disjoint path conditions
@@ -381,6 +458,7 @@ class QCoralAnalyzer:
             analysis_time=elapsed,
             config=self._config,
             round_reports=round_reports,
+            executor=self._executor.describe() if self._executor is not None else None,
         )
 
     def analyze_path_condition(self, pc: ast.PathCondition) -> PathConditionReport:
@@ -456,9 +534,21 @@ class QCoralAnalyzer:
                 state.exact = cached
                 state.cached = True
                 return state
+        parallel = self._executor is not None
+        if parallel:
+            # Each factor owns one child stream, spawned in factor-creation
+            # order, so its chunk seeds are independent of every other
+            # factor's — and of the backend executing them.
+            state.stream = self._seed_stream.spawn(1)[0]
         if self._config.stratified:
             sampler = StratifiedSampler(
-                factor, self._profile, self._rng, variables=variables, solver=self._solver
+                factor,
+                self._profile,
+                None if parallel else self._rng,
+                variables=variables,
+                solver=self._solver,
+                seed_stream=state.stream,
+                chunk_size=self._config.chunk_size,
             )
             if sampler.is_exact:
                 state.exact = sampler.estimate()
@@ -469,7 +559,9 @@ class QCoralAnalyzer:
                 from repro.lang.evaluator import holds_path_condition
 
                 state.exact = Estimate.exact(1.0 if holds_path_condition(factor, {}) else 0.0)
-            else:
+            elif not parallel:
+                # On the executor path workers compile (and cache) their own
+                # predicate; compiling here would be wasted work.
                 state.predicate = compile_path_condition(factor)
         return state
 
@@ -504,15 +596,21 @@ class QCoralAnalyzer:
             else:
                 chunk = max(1, remaining // (max_rounds - round_index + 1))
 
-            if round_index == 1:
+            if round_index == 1 or self._config.allocation == "even":
+                # Pilot rounds — and every round under the paper's "even"
+                # policy — split the chunk equally across the factors;
+                # variance-driven re-allocation is the "neyman" policy.
                 priorities = [1.0] * len(active)
             else:
                 priorities = self._factor_priorities(plan, active)
             shares = allocate_budget(priorities, chunk)
 
-            used = 0
-            for state, share in zip(active, shares):
-                used += self._extend_factor(state, share)
+            if self._executor is not None:
+                used = self._run_parallel_round(active, shares)
+            else:
+                used = 0
+                for state, share in zip(active, shares):
+                    used += self._extend_factor(state, share)
             spent += used
 
             combined = self._combined_estimate(plan)
@@ -523,6 +621,63 @@ class QCoralAnalyzer:
                 break
 
         return tuple(rounds)
+
+    def _run_parallel_round(self, active: Sequence[_FactorState], shares: Sequence[int]) -> int:
+        """Plan one round across *all* factors and run it as one task batch.
+
+        Batching the whole round keeps every worker busy even when a single
+        factor's share is small: the executor sees the union of all factors'
+        chunks, not one factor at a time.  Plans (and their spawned seeds)
+        depend only on allocation decisions, which are themselves functions
+        of previously merged counts — so the round is deterministic for a
+        fixed master seed on every backend and worker count.
+        """
+        planned: List[Tuple[_FactorState, Optional[int], SamplingTask]] = []
+        for state, share in zip(active, shares):
+            if share <= 0 or not state.sampleable:
+                continue
+            if state.sampler is not None:
+                for stratum_index, task in state.sampler.plan_extension(
+                    share, allocation=self._config.allocation
+                ):
+                    planned.append((state, stratum_index, task))
+            else:
+                planned.extend(self._plan_mc_factor(state, share))
+
+        outcomes = run_sampling_tasks(self._executor, [task for _, _, task in planned])
+        used = 0
+        for (state, stratum_index, task), (hits, samples) in zip(planned, outcomes):
+            if state.sampler is not None:
+                state.sampler.absorb_chunk(stratum_index, hits, samples)
+            else:
+                addition = SamplingResult(Estimate.from_hits(hits, samples), hits, samples)
+                state.mc_result = (
+                    addition if state.mc_result is None else state.mc_result.merge(addition)
+                )
+            used += samples
+        return used
+
+    def _plan_mc_factor(
+        self, state: _FactorState, share: int
+    ) -> List[Tuple[_FactorState, Optional[int], SamplingTask]]:
+        """Shard one plain hit-or-miss factor's share into seeded chunks."""
+        from repro.exec.scheduler import DEFAULT_CHUNK_SIZE
+
+        chunk_size = self._config.chunk_size if self._config.chunk_size is not None else DEFAULT_CHUNK_SIZE
+        return [
+            (
+                state,
+                None,
+                SamplingTask(
+                    pc=state.factor,
+                    profile=self._profile,
+                    samples=chunk,
+                    seed=state.stream.spawn_sequence(),
+                    variables=state.variables,
+                ),
+            )
+            for chunk in shard_budget(share, chunk_size)
+        ]
 
     def _extend_factor(self, state: _FactorState, budget: int) -> int:
         if budget <= 0 or not state.sampleable:
@@ -628,5 +783,9 @@ def quantify(
     profile: UsageProfile,
     config: QCoralConfig = QCoralConfig(),
 ) -> QCoralResult:
-    """One-shot convenience wrapper around :class:`QCoralAnalyzer`."""
-    return QCoralAnalyzer(profile, config).analyze(constraint_set)
+    """One-shot convenience wrapper around :class:`QCoralAnalyzer`.
+
+    Any executor pool the configuration requests is shut down on return.
+    """
+    with QCoralAnalyzer(profile, config) as analyzer:
+        return analyzer.analyze(constraint_set)

@@ -32,9 +32,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (exec depends on us)
+    from repro.exec.executor import Executor
+    from repro.exec.scheduler import SamplingTask
+    from repro.exec.seeds import SeedStream
 
 from repro.core.estimate import Estimate, RunningEstimate
 from repro.core.montecarlo import hit_or_miss
@@ -197,22 +202,36 @@ class StratifiedSampler:
     and folds the new counts into the per-stratum accumulators.  The current
     combined estimate is available at any time through :meth:`estimate` /
     :meth:`result`, so callers can interleave sampling with convergence
-    checks — the unit of work a future parallel backend would ship to a
-    worker pool.
+    checks.
+
+    When built with a :class:`~repro.exec.seeds.SeedStream` (and optionally
+    an :class:`~repro.exec.executor.Executor`), each round is planned as
+    seeded per-stratum chunks (:meth:`plan_extension`) that can run on any
+    backend and merge back deterministically (:meth:`absorb_chunk`).
     """
 
     def __init__(
         self,
         pc: ast.PathCondition,
         profile: UsageProfile,
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator],
         variables: Optional[Sequence[str]] = None,
         icp_config: ICPConfig = PAPER_CONFIG,
         solver: Optional[ICPSolver] = None,
+        executor: Optional["Executor"] = None,
+        seed_stream: Optional["SeedStream"] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
+        if rng is None and seed_stream is None:
+            raise ConfigurationError(
+                "a stratified sampler needs either an rng (serial path) or a seed_stream (sharded path)"
+            )
         self._pc = pc
         self._profile = profile
         self._rng = rng
+        self._executor = executor
+        self._seed_stream = seed_stream
+        self._chunk_size = chunk_size
         self._names: Tuple[str, ...] = (
             tuple(variables) if variables is not None else tuple(sorted(pc.free_variables()))
         )
@@ -247,7 +266,9 @@ class StratifiedSampler:
             )
             return
 
-        self._predicate = compile_path_condition(pc)
+        # On the sharded path (seed_stream set) workers compile and cache
+        # their own predicate; compiling here would be wasted work.
+        self._predicate = compile_path_condition(pc) if self._seed_stream is None else None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -276,12 +297,20 @@ class StratifiedSampler:
         The whole budget is divided across the *sampleable* strata only —
         inner and mass-free boxes consume nothing — so the returned count
         equals ``budget`` whenever at least one stratum is sampleable.
+
+        With an executor and seed stream configured, the round is sharded
+        into per-stratum seeded tasks and run on the backend; otherwise the
+        strata are sampled in-thread from the sampler's generator.
         """
         if budget < 0:
             raise AnalysisError("stratified budget may not be negative")
         if self._exact is not None or budget == 0:
             return 0
+        if self._seed_stream is not None:
+            return self._extend_sharded(budget, allocation)
+        return self._extend_serial(budget, allocation)
 
+    def _extend_serial(self, budget: int, allocation: str) -> int:
         shares = allocate_budget(allocation_priorities(self._strata, allocation), budget)
         used = 0
         for stratum, share in zip(self._strata, shares):
@@ -299,6 +328,64 @@ class StratifiedSampler:
             stratum.accumulator.absorb_counts(result.hits, result.samples)
             used += result.samples
         return used
+
+    def _extend_sharded(self, budget: int, allocation: str) -> int:
+        from repro.exec.scheduler import run_sampling_tasks
+
+        planned = self.plan_extension(budget, allocation)
+        outcomes = run_sampling_tasks(self._executor, [task for _, task in planned])
+        used = 0
+        for (stratum_index, _), (hits, samples) in zip(planned, outcomes):
+            self.absorb_chunk(stratum_index, hits, samples)
+            used += samples
+        return used
+
+    # ------------------------------------------------------------------ #
+    # Sharded planning (used directly by the analyzer's cross-factor rounds)
+    # ------------------------------------------------------------------ #
+    def plan_extension(
+        self, budget: int, allocation: str = "even"
+    ) -> List[Tuple[int, "SamplingTask"]]:
+        """Plan ``budget`` samples as seeded ``(stratum_index, task)`` chunks.
+
+        The plan is a pure function of the sampler's state and the spawn
+        order of its seed stream: shares follow the allocation policy, each
+        share is cut into worker-count-independent chunks, and seeds are
+        spawned in (stratum, chunk) order.  Running the tasks anywhere and
+        feeding the counts back through :meth:`absorb_chunk` therefore gives
+        the same accumulator state on any backend.
+        """
+        from repro.exec.scheduler import DEFAULT_CHUNK_SIZE, SamplingTask, shard_budget
+
+        if self._seed_stream is None:
+            raise ConfigurationError("plan_extension needs a sampler built with a seed_stream")
+        if budget < 0:
+            raise AnalysisError("stratified budget may not be negative")
+        if self._exact is not None or budget == 0:
+            return []
+        chunk_size = self._chunk_size if self._chunk_size is not None else DEFAULT_CHUNK_SIZE
+        shares = allocate_budget(allocation_priorities(self._strata, allocation), budget)
+        planned: List[Tuple[int, SamplingTask]] = []
+        for index, (stratum, share) in enumerate(zip(self._strata, shares)):
+            for chunk in shard_budget(share, chunk_size):
+                planned.append(
+                    (
+                        index,
+                        SamplingTask(
+                            pc=self._pc,
+                            profile=self._profile,
+                            samples=chunk,
+                            seed=self._seed_stream.spawn_sequence(),
+                            box=stratum.box,
+                            variables=self._names,
+                        ),
+                    )
+                )
+        return planned
+
+    def absorb_chunk(self, stratum_index: int, hits: int, samples: int) -> None:
+        """Fold one executed chunk's raw counts into its stratum."""
+        self._strata[stratum_index].accumulator.absorb_counts(hits, samples)
 
     # ------------------------------------------------------------------ #
     # Results
@@ -329,11 +416,14 @@ def stratified_sampling(
     pc: ast.PathCondition,
     profile: UsageProfile,
     samples: int,
-    rng: np.random.Generator,
+    rng: Optional[np.random.Generator],
     variables: Optional[Sequence[str]] = None,
     icp_config: ICPConfig = PAPER_CONFIG,
     solver: Optional[ICPSolver] = None,
     allocation: str = "even",
+    executor: Optional["Executor"] = None,
+    seed_stream: Optional["SeedStream"] = None,
+    chunk_size: Optional[int] = None,
 ) -> StratifiedResult:
     """Estimate the probability of ``pc`` with ICP-stratified sampling.
 
@@ -352,6 +442,11 @@ def stratified_sampling(
         icp_config: Configuration for a solver created on the fly.
         solver: Optional pre-built ICP solver (overrides ``icp_config``).
         allocation: ``"even"`` (the paper's equal split) or ``"neyman"``.
+        executor: Optional backend to run seeded sampling chunks on
+            (requires ``seed_stream``).
+        seed_stream: Seed stream for the sharded deterministic path; when
+            given, ``rng`` may be None.
+        chunk_size: Samples per sharded task.
 
     Returns:
         A :class:`StratifiedResult` with the combined estimate.
@@ -359,7 +454,15 @@ def stratified_sampling(
     if samples <= 0:
         raise AnalysisError("stratified sampling needs a positive sample budget")
     sampler = StratifiedSampler(
-        pc, profile, rng, variables=variables, icp_config=icp_config, solver=solver
+        pc,
+        profile,
+        rng,
+        variables=variables,
+        icp_config=icp_config,
+        solver=solver,
+        executor=executor,
+        seed_stream=seed_stream,
+        chunk_size=chunk_size,
     )
     sampler.extend(samples, allocation=allocation)
     return sampler.result()

@@ -1,0 +1,50 @@
+"""Parallel execution subsystem: executors, sampling tasks, seed streams.
+
+The estimation stack is embarrassingly parallel — hit-or-miss chunks over
+disjoint boxes are independent and their counts merge exactly — so this
+package supplies the three pieces needed to exploit that:
+
+* :class:`~repro.exec.executor.Executor` backends (serial, thread, process)
+  with an ordered ``map`` contract;
+* :class:`~repro.exec.scheduler.SamplingTask` + :func:`~repro.exec.scheduler.shard_budget`,
+  which cut sampling budgets into worker-count-independent task plans;
+* :class:`~repro.exec.seeds.SeedStream`, deterministic spawned RNG streams so
+  the same master seed reproduces bit-identical estimates on every backend
+  and worker count.
+"""
+
+from repro.exec.executor import (
+    EXECUTOR_KINDS,
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    default_worker_count,
+    make_executor,
+    resolve_executor,
+)
+from repro.exec.scheduler import (
+    DEFAULT_CHUNK_SIZE,
+    SamplingTask,
+    execute_sampling_task,
+    run_sampling_tasks,
+    shard_budget,
+)
+from repro.exec.seeds import SeedStream
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "EXECUTOR_KINDS",
+    "default_worker_count",
+    "make_executor",
+    "resolve_executor",
+    "SamplingTask",
+    "SeedStream",
+    "DEFAULT_CHUNK_SIZE",
+    "execute_sampling_task",
+    "run_sampling_tasks",
+    "shard_budget",
+]

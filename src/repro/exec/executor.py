@@ -1,0 +1,161 @@
+"""Pluggable executor backends for the sampling stack.
+
+An :class:`Executor` is the minimal surface the estimation layers need: an
+ordered ``map`` over picklable work items plus a lifecycle.  Three backends
+cover the practical deployment spectrum:
+
+* :class:`SerialExecutor` — runs in the calling thread; the reference
+  backend every parallel result must match bit-for-bit.
+* :class:`ThreadPoolExecutor` — shares memory with the caller; best when the
+  work releases the GIL (NumPy kernels on large batches) or is I/O bound.
+* :class:`ProcessPoolExecutor` — sidesteps the GIL entirely; best for
+  CPU-bound sampling at large budgets, at the cost of pickling tasks and a
+  pool start-up price.
+
+Pools are created lazily on first use and reused across rounds, so the
+start-up cost is paid once per analysis rather than once per round.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as _futures
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+from repro.errors import ConfigurationError
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+#: Executor kind names accepted throughout the stack (config, CLI).
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def default_worker_count() -> int:
+    """Worker count used when none is configured (the machine's CPU count)."""
+    return os.cpu_count() or 1
+
+
+class Executor:
+    """Base class of the pluggable execution backends."""
+
+    #: Kind name, matching :data:`EXECUTOR_KINDS`.
+    kind: str = "abstract"
+
+    @property
+    def workers(self) -> int:
+        """Number of concurrent workers this backend uses."""
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]) -> List[_ResultT]:
+        """Apply ``fn`` to every item, returning results in item order.
+
+        Ordered results are part of the determinism contract: callers merge
+        partial results positionally, so the merge order never depends on
+        completion order.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def describe(self) -> str:
+        """Human-readable label, e.g. ``process×4``."""
+        return self.kind if self.workers == 1 else f"{self.kind}×{self.workers}"
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """In-thread execution — the deterministic reference backend."""
+
+    kind = "serial"
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def map(self, fn: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]) -> List[_ResultT]:
+        return [fn(item) for item in items]
+
+
+class _PooledExecutor(Executor):
+    """Shared lazy-pool plumbing of the thread and process backends."""
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError("executor worker count must be positive")
+        self._workers = workers if workers is not None else default_worker_count()
+        self._pool: Optional[_futures.Executor] = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _make_pool(self) -> _futures.Executor:
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]) -> List[_ResultT]:
+        if not items:
+            return []
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadPoolExecutor(_PooledExecutor):
+    """Thread-pool backend (shared memory; fast for GIL-releasing kernels)."""
+
+    kind = "thread"
+
+    def _make_pool(self) -> _futures.Executor:
+        return _futures.ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="qcoral-sample"
+        )
+
+
+class ProcessPoolExecutor(_PooledExecutor):
+    """Process-pool backend (no GIL; tasks and results must pickle)."""
+
+    kind = "process"
+
+    def _make_pool(self) -> _futures.Executor:
+        return _futures.ProcessPoolExecutor(max_workers=self._workers)
+
+
+def make_executor(kind: str, workers: Optional[int] = None) -> Executor:
+    """Build an executor backend by kind name.
+
+    ``workers`` defaults to the CPU count for pooled backends and is ignored
+    by the serial backend.
+    """
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadPoolExecutor(workers)
+    if kind == "process":
+        return ProcessPoolExecutor(workers)
+    raise ConfigurationError(f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}")
+
+
+def resolve_executor(
+    spec: Union[None, str, Executor], workers: Optional[int] = None
+) -> Optional[Executor]:
+    """Normalise an executor specification (``None`` | kind name | instance)."""
+    if spec is None:
+        return None
+    if isinstance(spec, Executor):
+        return spec
+    return make_executor(spec, workers)

@@ -1,0 +1,125 @@
+"""Sampling tasks and the budget-sharding scheduler.
+
+A :class:`SamplingTask` is the self-contained unit of work the executors ship
+around: one hit-or-miss run of a path condition over a (sub-box of a) usage
+profile with its own spawned seed.  Tasks carry everything a worker needs —
+including the seed — so they can execute in another thread or another process
+and return nothing but raw counts, which the caller merges positionally.
+
+Two properties make the scheme deterministic:
+
+* :func:`shard_budget` cuts a budget into chunks as a pure function of the
+  budget and the chunk size — never of the worker count — so the task list of
+  a plan is identical on every backend;
+* each task draws from its own :class:`numpy.random.SeedSequence`, so the
+  samples it sees are a function of the plan position only.
+
+Workers compile each distinct predicate once and cache it keyed by the
+factor's canonical text (compiled predicates are closures and do not pickle,
+so they cannot travel with the task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.exec.executor import Executor, SerialExecutor
+from repro.intervals.box import Box
+from repro.lang import ast
+from repro.lang.compiler import CompiledPredicate, compile_path_condition
+
+if TYPE_CHECKING:  # pragma: no cover - deferred to avoid a core<->exec cycle
+    from repro.core.profiles import UsageProfile
+
+#: Default samples per task: large enough that NumPy batch evaluation (and,
+#: for the process backend, pickling) is amortised, small enough that a
+#: typical per-round budget still splits across several workers.
+DEFAULT_CHUNK_SIZE = 25_000
+
+
+@dataclass(frozen=True)
+class SamplingTask:
+    """One shard of a sampling plan: a seeded hit-or-miss run."""
+
+    pc: ast.PathCondition
+    profile: UsageProfile
+    samples: int
+    seed: np.random.SeedSequence
+    box: Optional[Box] = None
+    variables: Optional[Tuple[str, ...]] = None
+    batch_size: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.samples <= 0:
+            raise ConfigurationError("a sampling task needs a positive sample count")
+
+
+def shard_budget(budget: int, chunk_size: int = DEFAULT_CHUNK_SIZE) -> List[int]:
+    """Split ``budget`` samples into chunks of at most ``chunk_size``.
+
+    The split depends only on the two arguments (all chunks full-sized except
+    a smaller trailing remainder), so the same plan is produced regardless of
+    the backend or worker count executing it — the cornerstone of
+    reproducibility across executors.
+    """
+    if budget < 0:
+        raise ConfigurationError("budget may not be negative")
+    if chunk_size <= 0:
+        raise ConfigurationError("chunk size must be positive")
+    full, remainder = divmod(budget, chunk_size)
+    chunks = [chunk_size] * full
+    if remainder:
+        chunks.append(remainder)
+    return chunks
+
+
+#: Per-process cache of compiled predicates, keyed by canonical factor text
+#: (plus the sampled-variable tuple, which affects nothing in compilation but
+#: keeps keys self-describing).  Benign under the thread backend: the GIL
+#: makes dict access atomic and recompiling a predicate twice is harmless.
+_PREDICATE_CACHE: Dict[str, CompiledPredicate] = {}
+
+
+def _predicate_for(pc: ast.PathCondition) -> CompiledPredicate:
+    key = pc.canonical()
+    predicate = _PREDICATE_CACHE.get(key)
+    if predicate is None:
+        predicate = compile_path_condition(pc)
+        _PREDICATE_CACHE[key] = predicate
+    return predicate
+
+
+def execute_sampling_task(task: SamplingTask) -> Tuple[int, int]:
+    """Run one task and return its raw ``(hits, samples)`` counts.
+
+    Module-level (hence picklable by reference) so the process backend can
+    dispatch it.  The generator is instantiated here, worker-side, from the
+    task's spawned seed.
+    """
+    from repro.core.montecarlo import hit_or_miss
+
+    result = hit_or_miss(
+        task.pc,
+        task.profile,
+        task.samples,
+        np.random.default_rng(task.seed),
+        box=task.box,
+        variables=task.variables,
+        predicate=_predicate_for(task.pc),
+        batch_size=task.batch_size,
+    )
+    return result.hits, result.samples
+
+
+def run_sampling_tasks(
+    executor: Optional[Executor], tasks: Sequence[SamplingTask]
+) -> List[Tuple[int, int]]:
+    """Execute ``tasks`` on ``executor`` (serial when None), in task order."""
+    if not tasks:
+        return []
+    backend = executor if executor is not None else SerialExecutor()
+    return backend.map(execute_sampling_task, tasks)

@@ -15,6 +15,7 @@ propagates emptiness.
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Tuple, Union
 
@@ -26,16 +27,31 @@ _INF = math.inf
 
 
 def _next_down(value: float) -> float:
-    """Largest float strictly below ``value`` (identity on infinities)."""
-    if value == -_INF or value == _INF:
+    """Largest float strictly below ``value`` (identity on ``-inf``).
+
+    A *lower* bound of ``+inf`` can only come from a finite computation that
+    overflowed (e.g. the reciprocal of a subnormal), whose true value merely
+    exceeds the largest finite float; relaxing it to ``DBL_MAX`` keeps the
+    enclosure sound instead of producing an interval that excludes the true
+    value.
+    """
+    if value == -_INF:
         return value
+    if value == _INF:
+        return sys.float_info.max
     return math.nextafter(value, -_INF)
 
 
 def _next_up(value: float) -> float:
-    """Smallest float strictly above ``value`` (identity on infinities)."""
-    if value == -_INF or value == _INF:
+    """Smallest float strictly above ``value`` (identity on ``+inf``).
+
+    Symmetrically to :func:`_next_down`, an *upper* bound of ``-inf`` is an
+    overflow artefact and is relaxed to ``-DBL_MAX``.
+    """
+    if value == _INF:
         return value
+    if value == -_INF:
+        return -sys.float_info.max
     return math.nextafter(value, _INF)
 
 

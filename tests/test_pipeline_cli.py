@@ -1,10 +1,12 @@
 """Tests for the end-to-end pipeline, the experiment runner, and the CLI."""
 
+import statistics
+
 import pytest
 
 from repro.analysis.pipeline import ProbabilisticAnalysisPipeline, analyze_program
 from repro.analysis.results import Table, format_interval
-from repro.analysis.runner import repeat_analysis
+from repro.analysis.runner import repeat_analysis, trial_seeds
 from repro.cli import main
 from repro.core.qcoral import QCoralConfig
 from repro.errors import AnalysisError
@@ -74,11 +76,22 @@ class TestPipeline:
 
 class TestRunner:
     def test_aggregates_trials(self):
-        outcomes = repeat_analysis(lambda seed: (0.5 + seed * 0.01, 0.1), runs=5)
+        seen = []
+
+        def run(seed):
+            seen.append(seed)
+            return (0.5 + (seed % 7) * 0.01, 0.1)
+
+        outcomes = repeat_analysis(run, runs=5)
         assert outcomes.runs == 5
-        assert outcomes.mean_estimate == pytest.approx(0.52)
+        # Trial seeds are spawned from one SeedSequence: distinct and
+        # reproducible for a fixed base seed.
+        assert len(set(seen)) == 5
+        assert seen == trial_seeds(5, base_seed=0)
+        assert outcomes.mean_estimate == pytest.approx(
+            statistics.fmean(0.5 + (seed % 7) * 0.01 for seed in seen)
+        )
         assert outcomes.mean_reported_std == pytest.approx(0.1)
-        assert outcomes.empirical_std > 0.0
 
     def test_single_run_has_zero_empirical_std(self):
         outcomes = repeat_analysis(lambda seed: (0.3, 0.05), runs=1)
