@@ -8,15 +8,21 @@ level:
 3. run the full pipeline of Figure 1 on a small program: symbolic execution
    followed by probabilistic analysis of a target event;
 4. fan the sampling out over the parallel executor backends and check that
-   the estimate is bit-identical on every backend for one master seed.
+   the estimate is bit-identical on every backend for one master seed;
+5. persist per-factor estimates in a store and re-run warm: the second run
+   reuses every stored factor and draws zero samples.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 from repro import QCoralAnalyzer, QCoralConfig, UsageProfile, parse_constraint_set, quantify
 from repro.analysis.pipeline import analyze_program
+from repro.analysis.results import reuse_summary
 from repro.subjects import programs
 
 
@@ -107,11 +113,39 @@ def run_in_parallel() -> None:
     print()
 
 
+def reuse_across_runs() -> None:
+    """The persistent store: a cold run pays, the warm re-run is free."""
+    print("=" * 72)
+    print("5. Persistent estimate store (cold run, then warm re-run)")
+    print("=" * 72)
+
+    handle, store_path = tempfile.mkstemp(suffix=".db")
+    os.close(handle)
+    os.remove(store_path)
+    try:
+        config = QCoralConfig.strat_partcache(30_000, seed=1).with_store(store_path)
+        for label in ("cold", "warm"):
+            result = analyze_program(
+                programs.SAFETY_MONITOR, programs.SAFETY_MONITOR_EVENT, config=config
+            )
+            stats = result.qcoral_result.cache_statistics
+            print(
+                f"{label:5s} P = {result.mean:.6f}  samples drawn = "
+                f"{result.qcoral_result.total_samples:6d}  ({reuse_summary(stats)})"
+            )
+        print("warm re-run reused every stored factor: no sampling at all")
+    finally:
+        if os.path.exists(store_path):
+            os.remove(store_path)
+    print()
+
+
 def main() -> None:
     quantify_a_constraint_set()
     compare_feature_configurations()
     analyze_a_program()
     run_in_parallel()
+    reuse_across_runs()
 
 
 if __name__ == "__main__":

@@ -31,6 +31,15 @@ from repro.core.profiles import (
     UsageProfile,
 )
 from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult, quantify
+from repro.store import (
+    STORE_BACKENDS,
+    EstimateStore,
+    JsonlStore,
+    MemoryStore,
+    SqliteStore,
+    StoreEntry,
+    open_store,
+)
 from repro.lang.ast import Constraint, ConstraintSet, PathCondition
 from repro.lang.parser import (
     parse_constraint,
@@ -58,6 +67,13 @@ __all__ = [
     "EXECUTOR_KINDS",
     "make_executor",
     "SeedStream",
+    "EstimateStore",
+    "MemoryStore",
+    "JsonlStore",
+    "SqliteStore",
+    "StoreEntry",
+    "STORE_BACKENDS",
+    "open_store",
     "Constraint",
     "PathCondition",
     "ConstraintSet",

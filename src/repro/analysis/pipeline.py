@@ -12,11 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
+from repro.core.cache import CacheStatistics
 from repro.core.estimate import Estimate
 from repro.core.profiles import UsageProfile
 from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult, RoundReport
 from repro.errors import AnalysisError
 from repro.exec.executor import Executor
+from repro.store.backends import EstimateStore
 from repro.symexec.ast import Program
 from repro.symexec.parser import parse_program
 from repro.symexec.symbolic import SymbolicExecutionResult, execute_program
@@ -62,6 +64,21 @@ class PipelineResult:
         return self.qcoral_result.executor
 
     @property
+    def store_label(self) -> Optional[str]:
+        """Label of the persistent estimate store used (None = no store)."""
+        return self.qcoral_result.store
+
+    @property
+    def cache_statistics(self) -> CacheStatistics:
+        """Two-tier cache counters of the whole pipeline run.
+
+        The event analysis and the bounded-path analysis share one analyzer,
+        so these counters cover both — including persistent-store hits, warm
+        starts, and merges when a store is configured.
+        """
+        return self.qcoral_result.cache_statistics
+
+    @property
     def confidence_note(self) -> str:
         """Human-readable statement of the bounded-path probability mass."""
         return (
@@ -81,6 +98,7 @@ class ProbabilisticAnalysisPipeline:
         max_depth: int = 50,
         max_paths: int = 100_000,
         executor: Optional[Executor] = None,
+        store: Optional[EstimateStore] = None,
     ) -> None:
         self._program = parse_program(program) if isinstance(program, str) else program
         self._profile = profile if profile is not None else UsageProfile.uniform(self._program.input_bounds())
@@ -88,6 +106,7 @@ class ProbabilisticAnalysisPipeline:
         self._max_depth = max_depth
         self._max_paths = max_paths
         self._executor = executor
+        self._store = store
         self._symbolic_result: Optional[SymbolicExecutionResult] = None
         self._analyzer: Optional[QCoralAnalyzer] = None
 
@@ -118,16 +137,23 @@ class ProbabilisticAnalysisPipeline:
         re-sampled by a second analyzer with the same seed — which previously
         also replayed the identical RNG stream.
 
-        The executor backend is plumbed from the configuration (or a
-        pool passed to the pipeline constructor is borrowed), so every
-        analysis of this pipeline samples on the same worker pool.
+        The executor backend and the persistent estimate store are plumbed
+        from the configuration (or instances passed to the pipeline
+        constructor are borrowed), so every analysis of this pipeline samples
+        on the same worker pool and reuses/merges against the same store.
         """
         if self._analyzer is None:
-            self._analyzer = QCoralAnalyzer(self._profile, self._config, executor=self._executor)
+            self._analyzer = QCoralAnalyzer(
+                self._profile, self._config, executor=self._executor, store=self._store
+            )
         return self._analyzer
 
     def close(self) -> None:
-        """Shut down any executor pool the pipeline's analyzer created."""
+        """Shut down any executor pool or store handle the analyzer created.
+
+        Borrowed instances (passed to the constructor) stay open for their
+        owner, exactly as in :meth:`QCoralAnalyzer.close`.
+        """
         if self._analyzer is not None:
             self._analyzer.close()
 

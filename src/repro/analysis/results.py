@@ -73,6 +73,26 @@ def format_interval(lower: float, upper: float) -> str:
     return f"[{lower:.4f}, {upper:.4f}]"
 
 
+def reuse_summary(cache_statistics: object) -> str:
+    """One-line rendering of the two-tier cache/store counters of a run.
+
+    Accepts the :class:`~repro.core.cache.CacheStatistics` carried by
+    ``QCoralResult.cache_statistics`` (duck-typed, like
+    :func:`convergence_table`, to keep this module free of ``core`` imports).
+    The L1 part is always present; the store part appears once any
+    persistent-tier traffic happened.
+    """
+    parts = [f"cache {cache_statistics.hits}/{cache_statistics.lookups} hits"]
+    if cache_statistics.store_lookups or cache_statistics.store_publishes:
+        parts.append(
+            f"store {cache_statistics.store_hits}/{cache_statistics.store_lookups} hits, "
+            f"{cache_statistics.warm_starts} warm starts, "
+            f"{cache_statistics.store_publishes} published "
+            f"({cache_statistics.store_merges} merged)"
+        )
+    return " · ".join(parts)
+
+
 def convergence_table(round_reports: Sequence[object], title: str = "Adaptive convergence") -> Table:
     """Render the per-round records of an adaptive run as a table.
 

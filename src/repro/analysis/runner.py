@@ -49,7 +49,11 @@ class TrialOutcome:
 
     ``samples`` and ``rounds`` record the sampling effort of the trial when
     the analysis exposes them (adaptive runs); both default to 0 for plain
-    ``(estimate, std)`` callables.
+    ``(estimate, std)`` callables.  ``store_hits``, ``warm_starts``, and
+    ``store_merges`` record the trial's traffic against a persistent
+    estimate store (all 0 when the trial ran without one) — with a shared
+    store, later trials reuse or extend what earlier trials sampled, and
+    these counters make that reuse observable per trial.
     """
 
     estimate: float
@@ -57,6 +61,9 @@ class TrialOutcome:
     elapsed: float
     samples: int = 0
     rounds: int = 0
+    store_hits: int = 0
+    warm_starts: int = 0
+    store_merges: int = 0
 
 
 @dataclass(frozen=True)
@@ -102,12 +109,33 @@ class RepeatedResult:
         """Average adaptive rounds per trial (0 when trials did not report it)."""
         return statistics.fmean(outcome.rounds for outcome in self.outcomes)
 
+    @property
+    def total_store_hits(self) -> int:
+        """Persistent-store hits summed over all trials."""
+        return sum(outcome.store_hits for outcome in self.outcomes)
+
+    @property
+    def total_warm_starts(self) -> int:
+        """Factors warm-started from stored counts, summed over all trials."""
+        return sum(outcome.warm_starts for outcome in self.outcomes)
+
+    @property
+    def total_store_merges(self) -> int:
+        """Merge-on-write publishes into existing entries, over all trials."""
+        return sum(outcome.store_merges for outcome in self.outcomes)
+
     def summary(self) -> str:
         """Compact single-line summary for logging."""
-        return (
+        text = (
             f"estimate={self.mean_estimate:.6f} σ_runs={self.empirical_std:.2e} "
             f"σ_reported={self.mean_reported_std:.2e} time={self.mean_time:.2f}s ({self.runs} runs)"
         )
+        if self.total_store_hits or self.total_warm_starts or self.total_store_merges:
+            text += (
+                f" store[hits={self.total_store_hits} warm={self.total_warm_starts}"
+                f" merges={self.total_store_merges}]"
+            )
+        return text
 
 
 def _run_trials(
@@ -159,7 +187,17 @@ def _timed_quantification_trial(
     elapsed = time.perf_counter() - started
     if math.isnan(result.mean) or math.isnan(result.std):
         raise ValueError(f"trial with seed {seed} produced NaN results")
-    return TrialOutcome(result.mean, result.std, elapsed, result.total_samples, result.rounds)
+    cache = result.cache_statistics
+    return TrialOutcome(
+        result.mean,
+        result.std,
+        elapsed,
+        result.total_samples,
+        result.rounds,
+        store_hits=cache.store_hits,
+        warm_starts=cache.warm_starts,
+        store_merges=cache.store_merges,
+    )
 
 
 def repeat_quantification(

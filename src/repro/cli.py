@@ -19,12 +19,13 @@ import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.pipeline import analyze_program
-from repro.analysis.results import convergence_table
+from repro.analysis.results import convergence_table, reuse_summary
 from repro.core.profiles import UsageProfile
 from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult
 from repro.errors import ReproError
 from repro.exec.executor import EXECUTOR_KINDS
 from repro.lang.parser import parse_constraint_set
+from repro.store.backends import STORE_BACKENDS
 
 
 def _parse_domain(specs: Sequence[str]) -> Dict[str, Tuple[float, float]]:
@@ -52,6 +53,9 @@ def _config_from_args(args: argparse.Namespace) -> QCoralConfig:
         allocation=args.allocation,
         executor=args.executor,
         workers=args.workers,
+        store_path=args.store,
+        store_backend=args.store_backend,
+        store_readonly=args.store_readonly,
     )
 
 
@@ -107,6 +111,27 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker count for --executor thread/process (default: CPU count)",
     )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help=(
+            "persistent estimate store: stored per-factor estimates are "
+            "reused (or warm-started) across runs and this run's samples are "
+            "merged back"
+        ),
+    )
+    parser.add_argument(
+        "--store-backend",
+        choices=list(STORE_BACKENDS),
+        default=None,
+        help="store backend (default: inferred from the path; .jsonl => jsonl, else sqlite)",
+    )
+    parser.add_argument(
+        "--store-readonly",
+        action="store_true",
+        help="reuse stored estimates but write nothing back",
+    )
 
 
 def _print_rounds(args: argparse.Namespace, result: QCoralResult) -> None:
@@ -130,6 +155,9 @@ def _command_analyze(args: argparse.Namespace) -> int:
     print(f"std:          {result.std:.3e}")
     if result.executor_label is not None:
         print(f"executor:     {result.executor_label}")
+    if result.store_label is not None:
+        print(f"store:        {result.store_label}")
+        print(f"reuse:        {reuse_summary(result.cache_statistics)}")
     if result.rounds > 1:
         print(f"rounds:       {result.rounds}")
     print(f"time:         {result.qcoral_result.analysis_time:.2f}s")
@@ -160,12 +188,14 @@ def _command_quantify(args: argparse.Namespace) -> int:
     print(f"samples:       {result.total_samples}")
     if result.executor is not None:
         print(f"executor:      {result.executor}")
+    if result.store is not None:
+        print(f"store:         {result.store}")
     if result.rounds > 1:
         print(f"rounds:        {result.rounds}")
     print(f"time:          {result.analysis_time:.2f}s")
     cache = result.cache_statistics
     if cache.lookups:
-        print(f"cache:         {cache.hits}/{cache.lookups} hits")
+        print(f"reuse:         {reuse_summary(cache)}")
     _print_rounds(args, result)
     return 0
 

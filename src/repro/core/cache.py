@@ -1,16 +1,25 @@
-"""Cache of per-factor estimates (the PARTCACHE feature).
+"""Two-tier cache of per-factor estimates (the PARTCACHE feature, persisted).
 
 Algorithm 2 stores the estimate computed for each independent factor (the
 projection of a path condition onto one block of the variable partition) and
 reuses it whenever the same factor reappears — either in another path
-condition or in the same one after simplification.  The cache key is the
-canonical text of the simplified factor, so syntactic duplicates share an
-entry regardless of conjunct order.
+condition or in the same one after simplification.
 
-The cache is thread-safe: lookups, inserts, and the hit/miss counters are
-guarded by one reentrant lock, so a :class:`~repro.core.qcoral.QCoralAnalyzer`
-(or several) may share an instance under the thread executor backend without
-corrupting entries or statistics.
+The cache has two tiers:
+
+* **L1** — the in-memory, in-run map of the paper: canonical text of the
+  simplified factor → finished :class:`Estimate`.  Dies with the analyzer.
+* **L2** — an optional persistent :class:`~repro.store.backends.EstimateStore`
+  shared across runs and processes.  L2 keys are stronger than L1 keys
+  (alpha-renamed text plus a profile/estimator fingerprint, see
+  :mod:`repro.store.keys`) and L2 values are raw mergeable counts rather
+  than finished estimates, so a re-run can *continue* sampling where a
+  previous run stopped and independent runs pool their budgets.
+
+The cache is thread-safe: lookups, inserts, and the counters are guarded by
+one reentrant lock, so a :class:`~repro.core.qcoral.QCoralAnalyzer` (or
+several) may share an instance under the thread executor backend without
+corrupting entries or statistics.  L2 handles carry their own lock.
 """
 
 from __future__ import annotations
@@ -22,34 +31,72 @@ from typing import Callable, Dict, Optional
 from repro.core.estimate import Estimate
 from repro.lang import ast
 from repro.lang.simplify import simplify_path_condition
+from repro.store.backends import EstimateStore
+from repro.store.entry import StoreEntry
+from repro.store.keys import FactorKey, StoreContext
 
 
 @dataclass
 class CacheStatistics:
-    """Hit/miss counters exposed in analysis reports."""
+    """Hit/miss counters of both tiers, exposed in analysis reports.
+
+    ``hits``/``misses`` count L1 lookups exactly as before the store existed;
+    the ``store_*`` counters record this run's traffic against the persistent
+    tier (they stay zero when no store is configured).
+    """
 
     hits: int = 0
     misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    warm_starts: int = 0
+    store_publishes: int = 0
+    store_merges: int = 0
 
     @property
     def lookups(self) -> int:
-        """Total number of lookups."""
+        """Total number of L1 lookups."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0 when never used)."""
+        """Fraction of L1 lookups served from the cache (0 when never used)."""
         if self.lookups == 0:
             return 0.0
         return self.hits / self.lookups
 
+    @property
+    def store_lookups(self) -> int:
+        """Total number of persistent-store lookups."""
+        return self.store_hits + self.store_misses
+
+    @property
+    def reused_factors(self) -> int:
+        """Factors this run did not have to sample from scratch."""
+        return self.hits + self.store_hits
+
 
 class EstimateCache:
-    """Maps canonical factor text to a previously computed :class:`Estimate`."""
+    """Maps canonical factor text to a previously computed :class:`Estimate`.
 
-    def __init__(self) -> None:
+    Built without a store, this is exactly the paper's in-run cache.  With a
+    store and a :class:`~repro.store.keys.StoreContext` it becomes the L1 of
+    a two-tier hierarchy: :meth:`fetch_entry` consults the persistent tier on
+    an L1 miss, and :meth:`publish` folds a run's freshly drawn counts back
+    with merge-on-write semantics.
+    """
+
+    def __init__(
+        self,
+        store: Optional[EstimateStore] = None,
+        context: Optional[StoreContext] = None,
+    ) -> None:
+        if (store is None) != (context is None):
+            raise ValueError("a store and its key context must be provided together")
         self._entries: Dict[str, Estimate] = {}
         self._statistics = CacheStatistics()
+        self._store = store
+        self._context = context
         # Reentrant so get_or_compute may call get/put while holding it.
         self._lock = threading.RLock()
 
@@ -57,6 +104,16 @@ class EstimateCache:
     def statistics(self) -> CacheStatistics:
         """Hit/miss counters accumulated so far."""
         return self._statistics
+
+    @property
+    def store(self) -> Optional[EstimateStore]:
+        """The persistent tier, when one is attached."""
+        return self._store
+
+    @property
+    def has_store(self) -> bool:
+        """True when a persistent tier is attached."""
+        return self._store is not None
 
     def __len__(self) -> int:
         with self._lock:
@@ -69,9 +126,12 @@ class EstimateCache:
 
     @staticmethod
     def key_for(factor: ast.PathCondition) -> str:
-        """Canonical cache key of a factor (order-insensitive, simplified)."""
+        """Canonical L1 cache key of a factor (order-insensitive, simplified)."""
         return simplify_path_condition(factor).canonical()
 
+    # ------------------------------------------------------------------ #
+    # L1: the in-run tier
+    # ------------------------------------------------------------------ #
     def get(self, factor: ast.PathCondition) -> Optional[Estimate]:
         """Cached estimate for ``factor`` or None, updating the counters."""
         key = self.key_for(factor)
@@ -90,7 +150,7 @@ class EstimateCache:
             self._entries[key] = estimate
 
     def record_shared_hit(self) -> None:
-        """Count a reuse that bypassed the store (an in-run shared factor).
+        """Count a reuse that bypassed the cache (an in-run shared factor).
 
         The incremental analyzer deduplicates factors before sampling starts,
         so a factor shared by several path conditions is looked up only once;
@@ -99,6 +159,11 @@ class EstimateCache:
         """
         with self._lock:
             self._statistics.hits += 1
+
+    def record_warm_start(self) -> None:
+        """Count a factor that resumed sampling from stored counts."""
+        with self._lock:
+            self._statistics.warm_starts += 1
 
     def get_or_compute(
         self, factor: ast.PathCondition, compute: Callable[[], Estimate]
@@ -117,8 +182,49 @@ class EstimateCache:
         self.put(factor, estimate)
         return estimate
 
+    # ------------------------------------------------------------------ #
+    # L2: the persistent tier
+    # ------------------------------------------------------------------ #
+    def store_key(self, factor: ast.PathCondition) -> Optional[FactorKey]:
+        """Canonical persistent-store key of ``factor`` (None without a store)."""
+        if self._context is None:
+            return None
+        return self._context.key_for(factor)
+
+    def fetch_entry(self, key: FactorKey) -> Optional[StoreEntry]:
+        """Stored raw counts for ``key``, updating the store counters."""
+        if self._store is None:
+            return None
+        entry = self._store.get(key.digest)
+        with self._lock:
+            if entry is None:
+                self._statistics.store_misses += 1
+            else:
+                self._statistics.store_hits += 1
+        return entry
+
+    def publish(self, key: FactorKey, delta: StoreEntry, merged_into_prior: bool = False) -> None:
+        """Fold one run's delta counts for ``key`` into the persistent tier.
+
+        ``delta`` must contain only the samples this run drew itself — never
+        counts loaded from the store — so concurrent and sequential runs pool
+        correctly.  ``merged_into_prior`` marks publishes that extend an entry
+        this run loaded (warm starts), which the statistics report as merges.
+        """
+        if self._store is None:
+            return
+        self._store.merge(key.digest, delta.described(key.pc_text, key.fingerprint))
+        if self._store.readonly:
+            # The backend skipped the write (counted in its own statistics);
+            # reporting it as published here would misstate what persisted.
+            return
+        with self._lock:
+            self._statistics.store_publishes += 1
+            if merged_into_prior:
+                self._statistics.store_merges += 1
+
     def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+        """Drop all L1 entries and reset the counters (the store is untouched)."""
         with self._lock:
             self._entries.clear()
             self._statistics = CacheStatistics()

@@ -50,7 +50,12 @@ from repro.core.dependency import DependencyPartition, compute_dependency_partit
 from repro.core.estimate import Estimate
 from repro.core.montecarlo import SamplingResult, hit_or_miss
 from repro.core.profiles import UsageProfile
-from repro.core.stratified import ALLOCATION_POLICIES, StratifiedSampler, allocate_budget
+from repro.core.stratified import (
+    ALLOCATION_POLICIES,
+    StratifiedSampler,
+    allocate_budget,
+    laplace_sigma_floor,
+)
 from repro.errors import AnalysisError, ConfigurationError
 from repro.exec.executor import EXECUTOR_KINDS, Executor, resolve_executor
 from repro.exec.scheduler import SamplingTask, run_sampling_tasks, shard_budget
@@ -61,6 +66,9 @@ from repro.lang import ast
 from repro.lang.analysis import group_constraints_by_block
 from repro.lang.compiler import compile_path_condition
 from repro.lang.simplify import simplify_path_condition
+from repro.store.backends import STORE_BACKENDS, EstimateStore, open_store
+from repro.store.entry import StoreEntry
+from repro.store.keys import FactorKey, StoreContext, mc_method, stratified_method
 
 #: Rounds used when an adaptive feature is requested without an explicit
 #: ``max_rounds`` (pilot + re-allocation rounds).
@@ -108,6 +116,16 @@ class QCoralConfig:
             machine's CPU count).
         chunk_size: Samples per sharded task on the executor path (None =
             :data:`repro.exec.scheduler.DEFAULT_CHUNK_SIZE`).
+        store_path: Path of a persistent estimate store; stored per-factor
+            counts are reused across runs (outright when they cover the
+            budget, as warm-start priors otherwise) and this run's counts are
+            merged back on completion.  Requires ``partition_and_cache`` (the
+            store persists exactly what PARTCACHE caches); ignored without it.
+        store_backend: Store backend (one of
+            :data:`repro.store.backends.STORE_BACKENDS`); None infers it from
+            the path (``.jsonl`` → jsonl, otherwise sqlite; no path → memory).
+        store_readonly: Open the store read-only — stored estimates are still
+            reused, but nothing this run computes is written back.
     """
 
     samples_per_query: int = 30_000
@@ -123,6 +141,9 @@ class QCoralConfig:
     executor: Optional[str] = None
     workers: Optional[int] = None
     chunk_size: Optional[int] = None
+    store_path: Optional[str] = None
+    store_backend: Optional[str] = None
+    store_readonly: bool = False
 
     def __post_init__(self) -> None:
         if self.samples_per_query <= 0:
@@ -147,6 +168,12 @@ class QCoralConfig:
             raise ConfigurationError("workers requires an executor backend to apply to")
         if self.chunk_size is not None and self.chunk_size <= 0:
             raise ConfigurationError("chunk_size must be positive when set")
+        if self.store_backend is not None and self.store_backend not in STORE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown store backend {self.store_backend!r}; expected one of {STORE_BACKENDS}"
+            )
+        if self.store_readonly and not self.wants_store:
+            raise ConfigurationError("store_readonly requires a store path or backend")
         if self.max_rounds == 1 and (self.target_std is not None or self.allocation == "neyman"):
             # An adaptive feature without rounds cannot act; give it rounds.
             object.__setattr__(self, "max_rounds", DEFAULT_ADAPTIVE_ROUNDS)
@@ -155,6 +182,20 @@ class QCoralConfig:
     def is_adaptive(self) -> bool:
         """True when the iterative multi-round loop is active."""
         return self.max_rounds > 1
+
+    @property
+    def wants_store(self) -> bool:
+        """True when the configuration names a persistent estimate store."""
+        return self.store_path is not None or self.store_backend is not None
+
+    def with_store(
+        self,
+        path: Optional[str],
+        backend: Optional[str] = None,
+        readonly: bool = False,
+    ) -> "QCoralConfig":
+        """Copy of this configuration backed by a persistent estimate store."""
+        return replace(self, store_path=path, store_backend=backend, store_readonly=readonly)
 
     # ------------------------------------------------------------------ #
     # Presets matching the configurations named in the paper's Table 4
@@ -225,6 +266,8 @@ class FactorReport:
     estimate: Estimate
     from_cache: bool
     samples: int
+    #: True when the factor resumed sampling from persistent-store counts.
+    warm: bool = False
 
 
 @dataclass(frozen=True)
@@ -276,6 +319,10 @@ class QCoralResult:
     #: taken from the analyzer's executor instance, so a borrowed pool is
     #: reported too; None on the in-thread single-stream path.
     executor: Optional[str] = None
+    #: Label of the persistent estimate store consulted (``sqlite:est.db``),
+    #: None when the run had no store.  Cross-run reuse shows up in
+    #: :attr:`cache_statistics` (store hits, warm starts, merges).
+    store: Optional[str] = None
 
     @property
     def mean(self) -> float:
@@ -315,7 +362,24 @@ class QCoralResult:
 class _FactorState:
     """Resumable estimator of one unique factor during an analysis run."""
 
-    __slots__ = ("key", "factor", "variables", "exact", "cached", "sampler", "mc_result", "predicate", "stream")
+    __slots__ = (
+        "key",
+        "factor",
+        "variables",
+        "exact",
+        "cached",
+        "sampler",
+        "mc_result",
+        "predicate",
+        "stream",
+        "store_key",
+        "prior_hits",
+        "prior_samples",
+        "prior_spawned",
+        "prior_strata",
+        "warm",
+        "rng",
+    )
 
     def __init__(self, key: str, factor: ast.PathCondition, variables: Tuple[str, ...]) -> None:
         self.key = key
@@ -327,6 +391,19 @@ class _FactorState:
         self.mc_result: Optional[SamplingResult] = None
         self.predicate = None
         self.stream: Optional[SeedStream] = None
+        # Persistent-store bookkeeping: the resolved key, how much of the
+        # current accumulator state was *loaded* rather than drawn (so the
+        # write-back publishes only this run's delta), and whether the factor
+        # resumed from stored counts.
+        self.store_key: Optional[FactorKey] = None
+        self.prior_hits = 0
+        self.prior_samples = 0
+        self.prior_spawned = 0
+        self.prior_strata: Optional[Tuple[Tuple[int, int], ...]] = None
+        self.warm = False
+        # Serial-path override generator for warm-started factors (None on
+        # the sharded path and for cold factors, which use the shared rng).
+        self.rng: Optional[np.random.Generator] = None
 
     @property
     def sampleable(self) -> bool:
@@ -335,12 +412,17 @@ class _FactorState:
 
     @property
     def samples(self) -> int:
-        """Samples spent on this factor during the current run."""
+        """Samples backing this factor's estimate (warm-start prior included)."""
         if self.sampler is not None:
             return self.sampler.total_samples
         if self.mc_result is not None:
             return self.mc_result.samples
         return 0
+
+    @property
+    def fresh_samples(self) -> int:
+        """Samples actually drawn during the current run."""
+        return self.samples - self.prior_samples
 
     def estimate(self) -> Estimate:
         """Current estimate of the factor's probability."""
@@ -370,10 +452,10 @@ class QCoralAnalyzer:
         profile: UsageProfile,
         config: QCoralConfig = QCoralConfig(),
         executor: Optional[Executor] = None,
+        store: Optional[EstimateStore] = None,
     ) -> None:
         self._profile = profile
         self._config = config
-        self._cache = EstimateCache()
         self._solver = ICPSolver(config.icp)
         self._rng = np.random.default_rng(config.seed)
         self._seed_stream = SeedStream(config.seed)
@@ -385,6 +467,30 @@ class QCoralAnalyzer:
         else:
             self._executor = resolve_executor(config.executor, config.workers)
             self._owns_executor = self._executor is not None
+        if store is not None:
+            # Same borrowing rule as executors: shared store handles (e.g.
+            # one store across a pipeline's analyzers) are never closed here.
+            self._store: Optional[EstimateStore] = store
+            self._owns_store = False
+        elif config.wants_store:
+            self._store = open_store(
+                config.store_path, config.store_backend, readonly=config.store_readonly
+            )
+            self._owns_store = True
+        else:
+            self._store = None
+            self._owns_store = False
+        if self._store is not None and config.partition_and_cache:
+            context = StoreContext(
+                profile,
+                stratified_method(config.icp) if config.stratified else mc_method(),
+            )
+            self._cache = EstimateCache(self._store, context)
+        else:
+            # The store persists exactly what PARTCACHE caches; without the
+            # feature there is no canonical factor to key, so the store — if
+            # one was passed — stays idle.
+            self._cache = EstimateCache()
 
     @property
     def profile(self) -> UsageProfile:
@@ -401,6 +507,16 @@ class QCoralAnalyzer:
         """The execution backend (None on the legacy in-thread path)."""
         return self._executor
 
+    @property
+    def store(self) -> Optional[EstimateStore]:
+        """The persistent estimate store (None when the run has no store)."""
+        return self._store
+
+    @property
+    def cache(self) -> EstimateCache:
+        """The (possibly two-tier) factor estimate cache."""
+        return self._cache
+
     def reset(self, seed: Optional[int] = None) -> None:
         """Clear the factor cache and re-seed the random streams."""
         self._cache.clear()
@@ -409,9 +525,14 @@ class QCoralAnalyzer:
         self._seed_stream = SeedStream(effective)
 
     def close(self) -> None:
-        """Shut down an executor this analyzer created (borrowed ones stay up)."""
+        """Release executor/store resources this analyzer created.
+
+        Borrowed executors and store handles stay open for their owner.
+        """
         if self._owns_executor and self._executor is not None:
             self._executor.close()
+        if self._owns_store and self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "QCoralAnalyzer":
         return self
@@ -447,6 +568,7 @@ class QCoralAnalyzer:
             for state in states:
                 if not state.cached:
                     self._cache.put(state.factor, state.estimate())
+            self._publish_states(states)
 
         estimate = compose_disjoint_path_conditions(report.estimate for report in reports)
         elapsed = time.perf_counter() - started
@@ -459,6 +581,7 @@ class QCoralAnalyzer:
             config=self._config,
             round_reports=round_reports,
             executor=self._executor.describe() if self._executor is not None else None,
+            store=self._store.describe() if self._store is not None else None,
         )
 
     def analyze_path_condition(self, pc: ast.PathCondition) -> PathConditionReport:
@@ -473,6 +596,7 @@ class QCoralAnalyzer:
             for state in states:
                 if not state.cached:
                     self._cache.put(state.factor, state.estimate())
+            self._publish_states(states)
         return report
 
     # ------------------------------------------------------------------ #
@@ -528,12 +652,23 @@ class QCoralAnalyzer:
 
     def _new_state(self, key: str, factor: ast.PathCondition, variables: Tuple[str, ...]) -> _FactorState:
         state = _FactorState(key, factor, variables)
+        entry: Optional[StoreEntry] = None
         if self._config.partition_and_cache:
             cached = self._cache.get(factor)
             if cached is not None:
                 state.exact = cached
                 state.cached = True
                 return state
+            if self._cache.has_store and variables:
+                state.store_key = self._cache.store_key(factor)
+                entry = self._cache.fetch_entry(state.store_key)
+                if entry is not None and entry.is_exact:
+                    # A previous run resolved the factor without sampling
+                    # (ICP-exact); reuse skips even the paving work.
+                    state.exact = Estimate.exact(entry.exact_mean)
+                    state.cached = True
+                    self._cache.put(factor, state.exact)
+                    return state
         parallel = self._executor is not None
         if parallel:
             # Each factor owns one child stream, spawned in factor-creation
@@ -554,16 +689,139 @@ class QCoralAnalyzer:
                 state.exact = sampler.estimate()
             else:
                 state.sampler = sampler
+                if entry is not None:
+                    self._warm_start_stratified(state, entry)
         else:
             if not variables:
                 from repro.lang.evaluator import holds_path_condition
 
                 state.exact = Estimate.exact(1.0 if holds_path_condition(factor, {}) else 0.0)
-            elif not parallel:
-                # On the executor path workers compile (and cache) their own
-                # predicate; compiling here would be wasted work.
-                state.predicate = compile_path_condition(factor)
+            else:
+                if not parallel:
+                    # On the executor path workers compile (and cache) their
+                    # own predicate; compiling here would be wasted work.
+                    state.predicate = compile_path_condition(factor)
+                if entry is not None:
+                    self._warm_start_mc(state, entry)
+        if state.warm and self._need(state) == 0:
+            # The stored counts already cover this run's budget: the factor
+            # is a finished cross-run reuse, frozen before any sampling.
+            state.exact = state.estimate()
+            state.cached = True
+            self._cache.put(factor, state.exact)
         return state
+
+    # ------------------------------------------------------------------ #
+    # Persistent-store integration: warm starts and write-back
+    # ------------------------------------------------------------------ #
+    def _need(self, state: _FactorState) -> int:
+        """Samples still owed to this factor's nominal per-factor budget."""
+        return max(0, self._config.samples_per_query - state.samples)
+
+    def _fast_forward(self, state: _FactorState, spawned: int) -> None:
+        """Skip the seed-stream children a stored prior already consumed.
+
+        With the same master seed, a warm-started factor then draws exactly
+        the chunks a single long run would have drawn after the prior's —
+        which makes resumed sampling bit-identical to one long run whenever
+        the prior budget ended on a chunk boundary.  Serial-path priors
+        (``spawned == 0``) and foreign-seed priors fast-forward harmlessly.
+
+        On the serial path (no per-factor stream) the danger runs the other
+        way: re-using the master seed that produced the prior would *replay*
+        the exact sample stream already pooled in the store, and pooling
+        duplicates is not pooling.  Warm-started factors there switch to a
+        continuation-indexed generator — seeded by the master seed, the
+        factor's store key, and the prior's sample count — which is fresh
+        for every continuation depth yet fully deterministic.
+        """
+        if state.stream is not None:
+            if spawned > 0:
+                state.stream.spawn(spawned)
+            state.prior_spawned = state.stream.children_spawned
+            return
+        digest32 = int(state.store_key.digest[:8], 16)
+        prior_low, prior_high = state.prior_samples % 2**32, state.prior_samples // 2**32
+        sequence = np.random.SeedSequence(
+            self._config.seed, spawn_key=(digest32, prior_low, prior_high)
+        )
+        state.rng = np.random.default_rng(sequence)
+        if state.sampler is not None:
+            state.sampler.reseed(state.rng)
+
+    def _warm_start_mc(self, state: _FactorState, entry: StoreEntry) -> None:
+        if entry.kind != "mc" or entry.samples <= 0:
+            return
+        state.mc_result = SamplingResult(
+            Estimate.from_hits(entry.hits, entry.samples), entry.hits, entry.samples
+        )
+        state.prior_hits = entry.hits
+        state.prior_samples = entry.samples
+        state.warm = True
+        self._fast_forward(state, entry.spawned)
+        self._cache.record_warm_start()
+
+    def _warm_start_stratified(self, state: _FactorState, entry: StoreEntry) -> None:
+        sampler = state.sampler
+        if entry.kind != "stratified" or entry.samples <= 0 or sampler is None:
+            return
+        fingerprint = sampler.paving_fingerprint(state.store_key.variables)
+        if entry.paving != fingerprint or len(entry.strata) != len(sampler.strata):
+            # The stored counts refer to a different paving (the ICP solver
+            # has a wall-clock budget, so pavings can drift); reusing them
+            # would misattribute counts to boxes.  Treat as a miss.
+            return
+        sampler.preload_counts(entry.strata)
+        state.prior_samples = entry.samples
+        state.prior_strata = entry.strata
+        state.warm = True
+        self._fast_forward(state, entry.spawned)
+        self._cache.record_warm_start()
+
+    def _publish_states(self, states: Sequence[_FactorState]) -> None:
+        """Fold this run's freshly drawn counts back into the store.
+
+        Only deltas are published — the samples this run drew itself, never
+        counts it loaded — so sequential continuations and concurrent runs
+        pool without double counting.
+        """
+        if not self._cache.has_store:
+            return
+        for state in states:
+            key = state.store_key
+            if key is None or state.cached:
+                continue
+            delta = self._delta_entry(state)
+            if delta is not None:
+                self._cache.publish(key, delta, merged_into_prior=state.warm)
+
+    def _delta_entry(self, state: _FactorState) -> Optional[StoreEntry]:
+        spawned = 0
+        if state.stream is not None:
+            spawned = state.stream.children_spawned - state.prior_spawned
+        if state.sampler is not None:
+            if state.fresh_samples <= 0:
+                return None
+            counts = state.sampler.counts()
+            prior = state.prior_strata or tuple((0, 0) for _ in counts)
+            delta = tuple(
+                (hits - prior_hits, samples - prior_samples)
+                for (hits, samples), (prior_hits, prior_samples) in zip(counts, prior)
+            )
+            fingerprint = state.sampler.paving_fingerprint(state.store_key.variables)
+            return StoreEntry.from_strata(delta, paving=fingerprint, spawned=spawned)
+        if state.mc_result is not None:
+            fresh = state.mc_result.samples - state.prior_samples
+            if fresh <= 0:
+                return None
+            return StoreEntry.from_mc(
+                state.mc_result.hits - state.prior_hits, fresh, spawned=spawned
+            )
+        if state.exact is not None and state.variables and not state.warm:
+            # ICP resolved the factor without sampling this run; store the
+            # exact probability so re-runs skip the paving too.
+            return StoreEntry.from_exact(state.exact.mean)
+        return None
 
     # ------------------------------------------------------------------ #
     # The iterative sampling loop
@@ -578,7 +836,11 @@ class QCoralAnalyzer:
             return ()
 
         config = self._config
-        total_budget = config.samples_per_query * len(active)
+        # Warm-started factors only owe the store what their prior is short
+        # of, so the pooled budget is the sum of per-factor residual needs
+        # (identical to samples_per_query × factors on a cold run).
+        total_budget = sum(self._need(state) for state in active)
+        warm_run = any(state.prior_samples for state in active)
         max_rounds = config.max_rounds
         rounds: List[RoundReport] = []
         spent = 0
@@ -599,8 +861,15 @@ class QCoralAnalyzer:
             if round_index == 1 or self._config.allocation == "even":
                 # Pilot rounds — and every round under the paper's "even"
                 # policy — split the chunk equally across the factors;
-                # variance-driven re-allocation is the "neyman" policy.
-                priorities = [1.0] * len(active)
+                # variance-driven re-allocation is the "neyman" policy.  On a
+                # warm run the split follows each factor's residual need
+                # instead, so factors whose stored prior already covers the
+                # budget are not re-sampled (on a cold run all needs are
+                # equal and the two rules coincide).
+                if warm_run:
+                    priorities = [float(self._need(state)) for state in active]
+                else:
+                    priorities = [1.0] * len(active)
             else:
                 priorities = self._factor_priorities(plan, active)
             shares = allocate_budget(priorities, chunk)
@@ -688,7 +957,7 @@ class QCoralAnalyzer:
             state.factor,
             self._profile,
             budget,
-            self._rng,
+            state.rng if state.rng is not None else self._rng,
             variables=state.variables,
             predicate=state.predicate,
             prior=state.mc_result,
@@ -736,7 +1005,15 @@ class QCoralAnalyzer:
             if samples == 0:
                 per_sample_std = 0.5
             else:
-                per_sample_std = estimate.std * math.sqrt(samples)
+                # Floor the observed σ with its Laplace-smoothed counterpart:
+                # a factor whose samples so far all hit (or all missed) has
+                # an observed σ̂ of 0, and a hard zero would starve it of
+                # budget forever while spuriously reporting convergence.
+                equivalent_hits = min(samples, max(0, round(estimate.mean * samples)))
+                per_sample_std = max(
+                    estimate.std * math.sqrt(samples),
+                    laplace_sigma_floor(equivalent_hits, samples),
+                )
             priorities.append(math.sqrt(coefficients[id(state)]) * per_sample_std)
         return priorities
 
@@ -771,7 +1048,8 @@ class QCoralAnalyzer:
                     factor=state.factor,
                     estimate=state.estimate(),
                     from_cache=state.cached or not first,
-                    samples=state.samples if owns_samples else 0,
+                    samples=state.fresh_samples if owns_samples else 0,
+                    warm=state.warm,
                 )
             )
         estimate = compose_independent_factors(report.estimate for report in factor_reports)

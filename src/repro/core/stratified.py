@@ -59,6 +59,20 @@ ALLOCATION_POLICIES = ("even", "neyman")
 _PRIOR_SIGMA = 0.5
 
 
+def laplace_sigma_floor(hits: int, samples: int) -> float:
+    """Smoothed Bernoulli σ from raw counts: ``√(p̃ (1 − p̃))``, ``p̃ = (h+1)/(n+2)``.
+
+    Add-one (Laplace) smoothing keeps the σ estimate strictly positive on any
+    finite sample, so an all-miss (or all-hit) pilot cannot zero a stratum's
+    or factor's allocation priority forever; as ``n`` grows the floor decays
+    to the true σ like ``1/√n``.
+    """
+    if samples < 0:
+        raise AnalysisError("sample count may not be negative")
+    smoothed = (hits + 1.0) / (samples + 2.0)
+    return math.sqrt(smoothed * (1.0 - smoothed))
+
+
 @dataclass(frozen=True)
 class StratumReport:
     """Per-stratum record kept for reporting and debugging."""
@@ -85,15 +99,22 @@ class StratifiedResult:
 
 
 class Stratum:
-    """One persistent stratum: an ICP box plus a resumable accumulator."""
+    """One persistent stratum: an ICP box plus a resumable accumulator.
 
-    __slots__ = ("box", "weight", "inner", "accumulator")
+    Alongside the moment accumulator the stratum keeps exact integer hit and
+    draw counts; the persistent store serialises those (integers merge across
+    runs without floating-point drift).
+    """
+
+    __slots__ = ("box", "weight", "inner", "accumulator", "hit_count", "draw_count")
 
     def __init__(self, box: Box, weight: float, inner: bool) -> None:
         self.box = box
         self.weight = weight
         self.inner = inner
         self.accumulator = RunningEstimate()
+        self.hit_count = 0
+        self.draw_count = 0
 
     @property
     def sampleable(self) -> bool:
@@ -105,13 +126,31 @@ class Stratum:
         """Samples spent inside this stratum so far."""
         return self.accumulator.samples
 
+    def absorb(self, hits: int, samples: int) -> None:
+        """Fold a batch of raw counts into the accumulator and the counters."""
+        self.accumulator.absorb_counts(hits, samples)
+        self.hit_count += hits
+        self.draw_count += samples
+
     def sigma(self) -> float:
-        """Per-sample standard deviation, with the Bernoulli prior when unsampled."""
+        """Per-sample standard deviation, with the Bernoulli prior when unsampled.
+
+        The observed σ is floored by its Laplace-smoothed counterpart
+        (``p̃ = (h + 1) / (n + 2)``): a stratum whose pilot saw 0 hits (or
+        only hits) has an observed σ̂ of exactly 0, which under Neyman
+        allocation would starve it of budget *permanently* no matter how
+        little evidence the pilot carried.  The smoothed floor decays like
+        ``1/√n``, so genuinely resolved strata still fade out of the
+        allocation — they are just never hard-zeroed on finite evidence.
+        """
         if not self.sampleable:
             return 0.0
         if self.accumulator.samples == 0:
             return _PRIOR_SIGMA
-        return self.accumulator.per_sample_std
+        return max(
+            self.accumulator.per_sample_std,
+            laplace_sigma_floor(self.hit_count, self.draw_count),
+        )
 
     def estimate(self) -> Estimate:
         """Current estimate of the conditional probability within the box."""
@@ -325,7 +364,7 @@ class StratifiedSampler:
                 variables=self._names,
                 predicate=self._predicate,
             )
-            stratum.accumulator.absorb_counts(result.hits, result.samples)
+            stratum.absorb(result.hits, result.samples)
             used += result.samples
         return used
 
@@ -385,7 +424,61 @@ class StratifiedSampler:
 
     def absorb_chunk(self, stratum_index: int, hits: int, samples: int) -> None:
         """Fold one executed chunk's raw counts into its stratum."""
-        self._strata[stratum_index].accumulator.absorb_counts(hits, samples)
+        self._strata[stratum_index].absorb(hits, samples)
+
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Replace the serial-path generator.
+
+        Used when warm-starting from stored counts: a run re-using the master
+        seed that produced the prior would otherwise replay the exact sample
+        stream already pooled in the store, and pooling duplicates is not
+        pooling.  The caller hands a continuation-indexed generator instead.
+        """
+        if self._seed_stream is not None:
+            raise ConfigurationError("reseed applies to the serial path only")
+        self._rng = rng
+
+    # ------------------------------------------------------------------ #
+    # Persistent-store integration (raw counts in paving order)
+    # ------------------------------------------------------------------ #
+    def counts(self) -> Tuple[Tuple[int, int], ...]:
+        """Exact per-stratum ``(hits, samples)`` counts, in paving order."""
+        return tuple((stratum.hit_count, stratum.draw_count) for stratum in self._strata)
+
+    def preload_counts(self, counts: Sequence[Tuple[int, int]]) -> None:
+        """Warm-start the strata from counts a previous run stored.
+
+        ``counts`` must line up with this sampler's paving (same length, same
+        order) — the caller checks that via :meth:`paving_fingerprint` before
+        preloading, because pavings are not perfectly reproducible (the ICP
+        solver has a wall-clock budget).
+        """
+        if len(counts) != len(self._strata):
+            raise AnalysisError(
+                f"cannot preload {len(counts)} strata into a paving of {len(self._strata)}"
+            )
+        for stratum, (hits, samples) in zip(self._strata, counts):
+            if samples:
+                stratum.absorb(int(hits), int(samples))
+
+    def paving_fingerprint(self, canonical_order: Sequence[str]) -> str:
+        """Deterministic, renaming-invariant text identifying the paving.
+
+        ``canonical_order`` maps store positions to this sampler's variable
+        names (position ``i`` is the variable the store calls ``$v{i}``), so
+        two alpha-equivalent factors produce the same fingerprint exactly
+        when their pavings are structurally identical — the condition under
+        which stored per-stratum counts line up with local strata.
+        """
+        rendered = []
+        for stratum in self._strata:
+            cells = ",".join(
+                f"[{stratum.box.interval(name).lo!r},{stratum.box.interval(name).hi!r}]"
+                for name in canonical_order
+                if name in stratum.box
+            )
+            rendered.append(("I" if stratum.inner else "B") + cells)
+        return "|".join(rendered)
 
     # ------------------------------------------------------------------ #
     # Results

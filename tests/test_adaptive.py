@@ -212,6 +212,53 @@ class TestBudgetAllocation:
             else:
                 assert priority == 0.0
 
+    def test_all_miss_pilot_does_not_starve_a_stratum(self):
+        from repro.core.stratified import Stratum, laplace_sigma_floor
+        from repro.intervals.box import Box
+        from repro.intervals.interval import Interval
+
+        stratum = Stratum(Box({"x": Interval.make(0.0, 1.0)}), weight=0.5, inner=False)
+        stratum.absorb(0, 100)  # pilot saw no hits: observed σ̂ is exactly 0
+        assert stratum.sigma() == pytest.approx(laplace_sigma_floor(0, 100))
+        assert stratum.sigma() > 0.0
+        assert allocation_priorities([stratum], "neyman")[0] > 0.0
+        # All-hit pilots are floored symmetrically.
+        saturated = Stratum(Box({"x": Interval.make(0.0, 1.0)}), weight=0.5, inner=False)
+        saturated.absorb(50, 50)
+        assert saturated.sigma() == pytest.approx(laplace_sigma_floor(50, 50))
+
+    def test_sigma_floor_decays_with_evidence(self):
+        from repro.core.stratified import laplace_sigma_floor
+
+        floors = [laplace_sigma_floor(0, n) for n in (10, 100, 1000, 10_000)]
+        assert floors == sorted(floors, reverse=True)
+        assert floors[-1] < 0.02
+
+    def test_zero_variance_factor_keeps_priority(self, square_profile):
+        # A factor whose pilot samples all missed must still receive budget
+        # in later Neyman rounds (the Laplace floor in _factor_priorities);
+        # a hard-zero priority would freeze it at its pilot share forever.
+        config = QCoralConfig(
+            samples_per_query=2000,
+            stratified=False,
+            partition_and_cache=True,
+            seed=21,
+            allocation="neyman",
+            max_rounds=3,
+        )
+        analyzer = QCoralAnalyzer(square_profile, config)
+        # P(x >= 0.99999) = 5e-6: the rare factor's pilot sees 0 hits.
+        result = analyzer.analyze(parse_constraint_set("x >= 0.99999 || y <= 0"))
+        rare = next(
+            factor
+            for report in result.path_reports
+            for factor in report.factors
+            if factor.variables == frozenset({"x"})
+        )
+        assert rare.estimate.mean == 0.0  # the pilot indeed saw no hits
+        # Pilot share: 25% of the 4000-sample pool, split evenly => 500.
+        assert rare.samples > 500
+
 
 # --------------------------------------------------------------------------- #
 # Adaptive configuration

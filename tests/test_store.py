@@ -1,0 +1,546 @@
+"""Tests of the persistent estimate store: keys, backends, and cross-run reuse."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.analysis.pipeline import ProbabilisticAnalysisPipeline
+from repro.core.profiles import UsageProfile
+from repro.core.qcoral import QCoralAnalyzer, QCoralConfig
+from repro.errors import ConfigurationError
+from repro.lang.canonical import alpha_canonical, alpha_equivalent
+from repro.lang.parser import parse_constraint_set, parse_path_condition
+from repro.store import (
+    ESTIMATOR_VERSION,
+    JsonlStore,
+    MemoryStore,
+    SqliteStore,
+    StoreContext,
+    StoreEntry,
+    mc_method,
+    open_store,
+    stratified_method,
+)
+from repro.store.entry import StoreError
+from repro.subjects import programs
+
+
+def make_store(backend: str, tmp_path):
+    if backend == "memory":
+        return MemoryStore()
+    if backend == "jsonl":
+        return JsonlStore(str(tmp_path / "store.jsonl"))
+    return SqliteStore(str(tmp_path / "store.db"))
+
+
+BACKENDS = ("memory", "jsonl", "sqlite")
+
+
+# --------------------------------------------------------------------------- #
+# Canonicalisation and keys
+# --------------------------------------------------------------------------- #
+class TestAlphaCanonical:
+    def test_renamed_factors_are_alpha_equivalent(self):
+        first = parse_path_condition("x <= 0 - y && y <= x")
+        second = parse_path_condition("b <= a && a <= 0 - b")
+        assert alpha_equivalent(first, second)
+        assert alpha_canonical(first).text == alpha_canonical(second).text
+
+    def test_different_shapes_are_not_equivalent(self):
+        first = parse_path_condition("x <= 0.5")
+        second = parse_path_condition("x < 0.5")
+        assert not alpha_equivalent(first, second)
+
+    def test_different_constants_are_not_equivalent(self):
+        first = parse_path_condition("x <= 0.5")
+        second = parse_path_condition("x <= 0.25")
+        assert not alpha_equivalent(first, second)
+
+    def test_conjunct_order_is_irrelevant(self):
+        first = parse_path_condition("x <= 0.5 && y >= 0.25")
+        second = parse_path_condition("y >= 0.25 && x <= 0.5")
+        assert alpha_canonical(first).text == alpha_canonical(second).text
+
+    def test_variables_are_reported_in_canonical_order(self):
+        canonical = alpha_canonical(parse_path_condition("q * w <= 1"))
+        assert set(canonical.variables) == {"q", "w"}
+        for index, name in enumerate(canonical.variables):
+            assert f"$v{index}" in canonical.text or len(canonical.variables) <= index
+            assert name in {"q", "w"}
+
+
+class TestFactorKeys:
+    PROFILE = UsageProfile.uniform({"x": (-1, 1), "y": (-1, 1), "a": (-1, 1), "b": (-1, 1)})
+
+    def test_alpha_equivalent_factors_share_a_key(self):
+        context = StoreContext(self.PROFILE, mc_method())
+        first = context.key_for(parse_path_condition("x <= 0 - y && y <= x"))
+        second = context.key_for(parse_path_condition("b <= a && a <= 0 - b"))
+        assert first.digest == second.digest
+
+    def test_profile_fingerprint_mismatch_changes_the_key(self):
+        skewed = UsageProfile.uniform({"x": (-1, 1), "y": (-2, 1)})
+        pc = parse_path_condition("x <= y")
+        uniform_key = StoreContext(self.PROFILE, mc_method()).key_for(pc)
+        skewed_key = StoreContext(skewed, mc_method()).key_for(pc)
+        assert uniform_key.digest != skewed_key.digest
+
+    def test_distribution_family_changes_the_key(self):
+        from repro.core.profiles import TruncatedNormalDistribution, UniformDistribution
+
+        pc = parse_path_condition("x <= 0.5")
+        uniform = UsageProfile({"x": UniformDistribution(-1, 1)})
+        normal = UsageProfile({"x": TruncatedNormalDistribution(0.0, 1.0, -1, 1)})
+        assert (
+            StoreContext(uniform, mc_method()).key_for(pc).digest
+            != StoreContext(normal, mc_method()).key_for(pc).digest
+        )
+
+    def test_method_tag_changes_the_key(self):
+        from repro.icp.config import PAPER_CONFIG
+
+        pc = parse_path_condition("x <= 0.5")
+        mc_key = StoreContext(self.PROFILE, mc_method()).key_for(pc)
+        strat_key = StoreContext(self.PROFILE, stratified_method(PAPER_CONFIG)).key_for(pc)
+        assert mc_key.digest != strat_key.digest
+
+    def test_estimator_version_changes_the_key(self):
+        pc = parse_path_condition("x <= 0.5")
+        current = StoreContext(self.PROFILE, mc_method()).key_for(pc)
+        future = StoreContext(self.PROFILE, mc_method(), version="qcoral-est-999").key_for(pc)
+        assert ESTIMATOR_VERSION != "qcoral-est-999"
+        assert current.digest != future.digest
+
+    def test_symmetric_factor_keys_deterministically(self):
+        # x and y can be swapped without changing the constraint text; the
+        # fingerprint tie-break must still give one deterministic key.
+        skewed = UsageProfile.uniform({"x": (-1, 1), "y": (-2, 1)})
+        context = StoreContext(skewed, mc_method())
+        first = context.key_for(parse_path_condition("x <= 0.5 && y <= 0.5"))
+        second = context.key_for(parse_path_condition("y <= 0.5 && x <= 0.5"))
+        assert first.digest == second.digest
+
+
+# --------------------------------------------------------------------------- #
+# Backends: round-trip, merge-on-write, concurrency
+# --------------------------------------------------------------------------- #
+class TestBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_round_trip(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        entry = StoreEntry.from_mc(7, 100, spawned=2)
+        store.merge("key-1", entry)
+        loaded = store.get("key-1")
+        assert (loaded.hits, loaded.samples, loaded.spawned) == (7, 100, 2)
+        assert store.get("missing") is None
+        assert len(store) == 1
+        store.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stratified_round_trip(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        entry = StoreEntry.from_strata(((3, 10), (0, 5)), paving="B[0,1]|B[1,2]", spawned=4)
+        store.merge("key-s", entry)
+        loaded = store.get("key-s")
+        assert loaded.strata == ((3, 10), (0, 5))
+        assert loaded.samples == 15
+        assert loaded.paving == "B[0,1]|B[1,2]"
+        store.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_merge_on_write_accumulates(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.merge("key", StoreEntry.from_mc(10, 100))
+        merged = store.merge("key", StoreEntry.from_mc(5, 50))
+        assert (merged.hits, merged.samples, merged.runs) == (15, 150, 2)
+        assert store.get("key").samples == 150
+        assert store.statistics.creates == 1
+        assert store.statistics.merges == 1
+        store.close()
+
+    @pytest.mark.parametrize("backend", ("jsonl", "sqlite"))
+    def test_persistence_across_handles(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        path = store._path
+        store.merge("key", StoreEntry.from_mc(10, 100))
+        store.close()
+        reopened = open_store(path, backend)
+        assert reopened.get("key").samples == 100
+        reopened.merge("key", StoreEntry.from_mc(1, 10))
+        assert reopened.get("key").samples == 110
+        reopened.close()
+
+    @pytest.mark.parametrize("backend", ("jsonl", "sqlite"))
+    def test_readonly_skips_writes(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        path = store._path
+        store.merge("key", StoreEntry.from_mc(10, 100))
+        store.close()
+        readonly = open_store(path, backend, readonly=True)
+        would_be = readonly.merge("key", StoreEntry.from_mc(5, 50))
+        assert would_be.samples == 150  # the caller sees the would-be total
+        assert readonly.get("key").samples == 100  # ...but nothing was written
+        assert readonly.statistics.readonly_skips == 1
+        readonly.close()
+
+    def test_open_store_infers_backend(self, tmp_path):
+        assert open_store(None).backend == "memory"
+        jsonl = open_store(str(tmp_path / "a.jsonl"))
+        sqlite = open_store(str(tmp_path / "a.db"))
+        assert (jsonl.backend, sqlite.backend) == ("jsonl", "sqlite")
+        jsonl.close()
+        sqlite.close()
+        with pytest.raises(StoreError):
+            open_store(str(tmp_path / "x"), backend="nope")
+
+    def test_jsonl_ignores_corrupt_lines(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = JsonlStore(str(path))
+        store.merge("key", StoreEntry.from_mc(10, 100))
+        store.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"key": "key", "kind": "mc", "hits": 1, "samples": 10}) + "\n")
+        reopened = JsonlStore(str(path))
+        assert reopened.get("key").samples == 110
+        reopened.close()
+
+    def test_paving_mismatch_keeps_larger_pool(self):
+        bigger = StoreEntry.from_strata(((10, 100),), paving="A")
+        smaller = StoreEntry.from_strata(((1, 10), (2, 20)), paving="B")
+        assert bigger.merge(smaller) is bigger
+        assert smaller.merge(bigger) is bigger
+
+    def test_exact_wins_any_kind_mismatch(self):
+        # Exactness is machine-dependent (the ICP solver has a wall-clock
+        # budget): the same key can legitimately receive a stratified delta
+        # from one machine and an exact delta from another.  The proof wins.
+        exact = StoreEntry.from_exact(0.25)
+        sampled = StoreEntry.from_strata(((10, 100),), paving="A")
+        for merged in (exact.merge(sampled), sampled.merge(exact)):
+            assert merged.kind == "exact"
+            assert merged.exact_mean == 0.25
+            assert merged.runs == 2
+
+    def test_time_budget_is_part_of_the_method_tag(self):
+        from repro.icp.config import ICPConfig
+
+        fast = stratified_method(ICPConfig(time_budget=2.0))
+        slow = stratified_method(ICPConfig(time_budget=60.0))
+        assert fast != slow
+
+    def test_readonly_sqlite_on_missing_or_unwritable_path(self, tmp_path):
+        # A readonly handle on a store nobody has written yet: empty, no file
+        # silently created.
+        missing = str(tmp_path / "nope.db")
+        store = SqliteStore(missing, readonly=True)
+        assert store.get("key") is None
+        assert store.keys() == []
+        store.close()
+        assert not os.path.exists(missing)
+        # A readonly handle on an unwritable store file still reads fine.
+        path = str(tmp_path / "frozen.db")
+        writer = SqliteStore(path)
+        writer.merge("key", StoreEntry.from_mc(10, 100))
+        writer.close()
+        os.chmod(path, 0o444)
+        try:
+            readonly = SqliteStore(path, readonly=True)
+            assert readonly.get("key").samples == 100
+            readonly.close()
+        finally:
+            os.chmod(path, 0o644)
+
+    def test_concurrent_thread_writers_sqlite(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        store = SqliteStore(path)
+        errors = []
+
+        def writer(worker: int) -> None:
+            try:
+                for _ in range(25):
+                    store.merge(f"key-{worker % 3}", StoreEntry.from_mc(1, 10))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(index,)) for index in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        total = sum(store.get(key).samples for key in store.keys())
+        assert total == 4 * 25 * 10
+        store.close()
+
+    def test_concurrent_process_writers_sqlite(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        # Create the schema before the workers race on it.
+        SqliteStore(path).close()
+        context = multiprocessing.get_context("spawn")
+        workers = [
+            context.Process(target=_process_writer, args=(path, worker)) for worker in range(3)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(worker.exitcode == 0 for worker in workers)
+        store = SqliteStore(path)
+        total = sum(store.get(key).samples for key in store.keys())
+        assert total == 3 * 20 * 10
+        store.close()
+
+
+def _process_writer(path: str, worker: int) -> None:
+    store = SqliteStore(path)
+    for _ in range(20):
+        store.merge(f"key-{worker % 2}", StoreEntry.from_mc(2, 10))
+    store.close()
+
+
+# --------------------------------------------------------------------------- #
+# Cross-run reuse through the analyzer
+# --------------------------------------------------------------------------- #
+PROFILE_2D = UsageProfile.uniform({"x": (-1, 1), "y": (-1, 1)})
+CIRCLE = "x * x + y * y <= 1"
+
+
+class TestAnalyzerReuse:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_warm_rerun_samples_nothing(self, backend, tmp_path):
+        path = None if backend == "memory" else str(tmp_path / f"store.{backend}")
+        store = open_store(path, backend)
+        config = QCoralConfig.strat_partcache(5000, seed=11)
+        constraint_set = parse_constraint_set(CIRCLE)
+        with QCoralAnalyzer(PROFILE_2D, config, store=store) as cold:
+            first = cold.analyze(constraint_set)
+        with QCoralAnalyzer(PROFILE_2D, config, store=store) as warm:
+            second = warm.analyze(constraint_set)
+        assert first.total_samples == 5000
+        assert second.total_samples == 0
+        assert second.mean == first.mean
+        assert second.variance == first.variance
+        assert second.cache_statistics.store_hits >= 1
+        store.close()
+
+    def test_renamed_subject_reuses_the_entry(self, tmp_path):
+        store = open_store(str(tmp_path / "store.db"))
+        config = QCoralConfig.strat_partcache(4000, seed=7)
+        with QCoralAnalyzer(PROFILE_2D, config, store=store) as cold:
+            cold.analyze(parse_constraint_set(CIRCLE))
+        renamed_profile = UsageProfile.uniform({"u": (-1, 1), "v": (-1, 1)})
+        with QCoralAnalyzer(renamed_profile, config, store=store) as warm:
+            result = warm.analyze(parse_constraint_set("u * u + v * v <= 1"))
+        assert result.total_samples == 0
+        assert result.cache_statistics.store_hits == 1
+        store.close()
+
+    def test_profile_mismatch_misses(self, tmp_path):
+        store = open_store(str(tmp_path / "store.db"))
+        config = QCoralConfig.strat_partcache(2000, seed=7)
+        with QCoralAnalyzer(PROFILE_2D, config, store=store) as cold:
+            cold.analyze(parse_constraint_set(CIRCLE))
+        wider = UsageProfile.uniform({"x": (-2, 2), "y": (-1, 1)})
+        with QCoralAnalyzer(wider, config, store=store) as other:
+            result = other.analyze(parse_constraint_set(CIRCLE))
+        assert result.cache_statistics.store_hits == 0
+        assert result.total_samples == 2000
+        store.close()
+
+    def test_estimator_config_mismatch_misses(self, tmp_path):
+        store = open_store(str(tmp_path / "store.db"))
+        constraint_set = parse_constraint_set(CIRCLE)
+        strat = QCoralConfig.strat_partcache(2000, seed=7)
+        plain_cached = QCoralConfig(
+            samples_per_query=2000, stratified=False, partition_and_cache=True, seed=7
+        )
+        with QCoralAnalyzer(PROFILE_2D, strat, store=store) as first:
+            first.analyze(constraint_set)
+        with QCoralAnalyzer(PROFILE_2D, plain_cached, store=store) as second:
+            result = second.analyze(constraint_set)
+        assert result.cache_statistics.store_hits == 0
+        assert result.total_samples == 2000
+        store.close()
+
+    def test_merge_on_write_pools_samples(self, tmp_path):
+        store = open_store(str(tmp_path / "store.db"))
+        constraint_set = parse_constraint_set(CIRCLE)
+        with QCoralAnalyzer(PROFILE_2D, QCoralConfig.strat_partcache(3000, seed=1), store=store) as a:
+            a.analyze(constraint_set)
+        with QCoralAnalyzer(PROFILE_2D, QCoralConfig.strat_partcache(8000, seed=2), store=store) as b:
+            topup = b.analyze(constraint_set)
+        assert topup.total_samples == 5000  # only the shortfall is drawn
+        (key,) = store.keys()
+        entry = store.get(key)
+        assert entry.samples == 8000
+        assert entry.runs == 2
+        assert topup.cache_statistics.warm_starts == 1
+        assert topup.cache_statistics.store_merges == 1
+        store.close()
+
+    def test_same_seed_warm_rerun_is_deterministic(self, tmp_path):
+        first_store = open_store(str(tmp_path / "a.db"))
+        second_store = open_store(str(tmp_path / "b.db"))
+        constraint_set = parse_constraint_set(CIRCLE)
+        results = []
+        for store in (first_store, second_store):
+            with QCoralAnalyzer(PROFILE_2D, QCoralConfig.strat_partcache(2000, seed=3), store=store) as cold:
+                cold.analyze(constraint_set)
+            with QCoralAnalyzer(PROFILE_2D, QCoralConfig.strat_partcache(6000, seed=3), store=store) as warm:
+                results.append(warm.analyze(constraint_set))
+            store.close()
+        assert results[0].mean == results[1].mean
+        assert results[0].variance == results[1].variance
+
+    def test_warm_start_bit_identical_to_one_long_run(self, tmp_path):
+        """Sharded path, chunk-aligned budgets: resume == one long run."""
+        store = open_store(str(tmp_path / "store.db"))
+        constraint_set = parse_constraint_set(CIRCLE)
+        base = dict(stratified=False, seed=42, executor="serial", chunk_size=10_000)
+        short = QCoralConfig(samples_per_query=20_000, **base)
+        full = QCoralConfig(samples_per_query=50_000, **base)
+        with QCoralAnalyzer(PROFILE_2D, short, store=store) as cold:
+            cold.analyze(constraint_set)
+        with QCoralAnalyzer(PROFILE_2D, full, store=store) as warm:
+            resumed = warm.analyze(constraint_set)
+        with QCoralAnalyzer(PROFILE_2D, full) as reference:
+            long_run = reference.analyze(constraint_set)
+        assert resumed.mean == long_run.mean
+        assert resumed.variance == long_run.variance
+        assert resumed.total_samples == 30_000  # only the continuation was drawn
+        store.close()
+
+    def test_same_seed_topup_draws_fresh_samples(self, tmp_path):
+        """A serial-path continuation must not replay the prior's stream."""
+        store = open_store(str(tmp_path / "store.db"))
+        constraint_set = parse_constraint_set(CIRCLE)
+        with QCoralAnalyzer(PROFILE_2D, QCoralConfig.strat_partcache(4000, seed=9), store=store) as cold:
+            first = cold.analyze(constraint_set)
+        with QCoralAnalyzer(PROFILE_2D, QCoralConfig.strat_partcache(8000, seed=9), store=store) as warm:
+            second = warm.analyze(constraint_set)
+        # Replaying the same 4000 samples would reproduce the mean exactly;
+        # a decorrelated continuation virtually never does.
+        assert second.mean != first.mean
+        assert second.std < first.std
+        store.close()
+
+    def test_readonly_store_reuses_but_never_writes(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        constraint_set = parse_constraint_set(CIRCLE)
+        config = QCoralConfig.strat_partcache(2000, seed=5)
+        with QCoralAnalyzer(PROFILE_2D, config.with_store(path)) as cold:
+            cold.analyze(constraint_set)
+        snapshot = open_store(path)
+        before = {key: snapshot.get(key).samples for key in snapshot.keys()}
+        snapshot.close()
+        bigger = QCoralConfig.strat_partcache(6000, seed=5).with_store(path, readonly=True)
+        with QCoralAnalyzer(PROFILE_2D, bigger) as warm:
+            result = warm.analyze(constraint_set)
+        assert result.cache_statistics.store_hits == 1
+        assert result.total_samples == 4000  # the shortfall is still drawn...
+        snapshot = open_store(path)
+        assert {key: snapshot.get(key).samples for key in snapshot.keys()} == before
+        snapshot.close()
+
+    def test_store_requires_partcache(self, tmp_path):
+        config = QCoralConfig(
+            samples_per_query=1000,
+            partition_and_cache=False,
+            seed=1,
+            store_path=str(tmp_path / "store.db"),
+        )
+        with QCoralAnalyzer(PROFILE_2D, config) as analyzer:
+            result = analyzer.analyze(parse_constraint_set(CIRCLE))
+        assert result.cache_statistics.store_lookups == 0
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            QCoralConfig(store_backend="bogus")
+        with pytest.raises(ConfigurationError):
+            QCoralConfig(store_readonly=True)
+
+
+class TestConcurrentAnalyzers:
+    """Whole analyses racing on one store through the PR 2 executors."""
+
+    @pytest.mark.parametrize("executor_kind", ("thread", "process"))
+    def test_concurrent_trials_pool_into_one_store(self, executor_kind, tmp_path):
+        from repro.analysis.runner import repeat_quantification
+        from repro.exec.executor import make_executor
+
+        path = str(tmp_path / "store.db")
+        SqliteStore(path).close()  # create the schema before workers race
+        with make_executor(executor_kind, 2) as pool:
+            aggregated = repeat_quantification(
+                _store_trial_factory(path), runs=4, base_seed=77, executor=pool
+            )
+        store = SqliteStore(path)
+        (key,) = store.keys()
+        entry = store.get(key)
+        # Each trial either published its own 1500-sample delta (merge-on-
+        # write pooled them atomically) or found the entry already covering
+        # its budget and reused it outright — never anything in between, and
+        # never a corrupted count.
+        assert entry.samples == entry.runs * 1500
+        assert 1 <= entry.runs <= 4
+        assert 0 <= entry.hits <= entry.samples
+        assert entry.runs + aggregated.total_store_hits == 4
+        store.close()
+
+
+class _StoreTrial:
+    """Picklable trial callable (the process backend cannot ship lambdas)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def __call__(self, seed: int):
+        config = QCoralConfig(
+            samples_per_query=1500, stratified=False, seed=seed, store_path=self.path
+        )
+        with QCoralAnalyzer(PROFILE_2D, config) as analyzer:
+            return analyzer.analyze(parse_constraint_set(CIRCLE))
+
+
+def _store_trial_factory(path: str) -> _StoreTrial:
+    return _StoreTrial(path)
+
+
+# --------------------------------------------------------------------------- #
+# Cross-run reuse through the pipeline
+# --------------------------------------------------------------------------- #
+class TestPipelineReuse:
+    def test_warm_pipeline_rerun_resamples_zero_factors(self, tmp_path):
+        config = QCoralConfig.strat_partcache(3000, seed=2).with_store(str(tmp_path / "p.db"))
+        with ProbabilisticAnalysisPipeline(programs.SAFETY_MONITOR, config=config) as pipeline:
+            cold = pipeline.analyze(programs.SAFETY_MONITOR_EVENT)
+        with ProbabilisticAnalysisPipeline(programs.SAFETY_MONITOR, config=config) as pipeline:
+            warm = pipeline.analyze(programs.SAFETY_MONITOR_EVENT)
+        assert cold.qcoral_result.total_samples > 0
+        assert warm.qcoral_result.total_samples == 0
+        assert warm.mean == cold.mean
+        assert warm.cache_statistics.store_hits >= 1
+        assert warm.store_label is not None
+
+    def test_mutated_program_reuses_unaffected_factors(self, tmp_path):
+        config = QCoralConfig.strat_partcache(3000, seed=2).with_store(str(tmp_path / "p.db"))
+        with ProbabilisticAnalysisPipeline(programs.SAFETY_MONITOR, config=config) as pipeline:
+            pipeline.analyze(programs.SAFETY_MONITOR_EVENT)
+        mutated = programs.SAFETY_MONITOR.replace(
+            "sin(headFlap * tailFlap) > 0.25", "sin(headFlap * tailFlap) > 0.3"
+        )
+        with ProbabilisticAnalysisPipeline(mutated, config=config) as pipeline:
+            result = pipeline.analyze(programs.SAFETY_MONITOR_EVENT)
+        stats = result.cache_statistics
+        # The altitude factors are untouched by the mutation and must be
+        # served from the store; the flap-angle factor changed and must miss
+        # (and be re-sampled from scratch).
+        assert stats.store_hits >= 1
+        assert stats.store_misses >= 1
+        assert result.qcoral_result.total_samples == 3000
