@@ -88,9 +88,7 @@ class TestAblationBenchmarks:
 
     def test_cache_preserves_estimate(self):
         uncached = quantify(_SHARED_FACTORS, _SHARED_PROFILE, QCoralConfig.strat(3_000, seed=9))
-        cached = quantify(
-            _SHARED_FACTORS, _SHARED_PROFILE, QCoralConfig.strat_partcache(3_000, seed=9)
-        )
+        cached = quantify(_SHARED_FACTORS, _SHARED_PROFILE, QCoralConfig.strat_partcache(3_000, seed=9))
         assert cached.mean == pytest.approx(uncached.mean, abs=0.05)
         assert cached.total_samples <= uncached.total_samples
 
@@ -99,9 +97,7 @@ class TestAblationBenchmarks:
         estimates = []
         reported = []
         for seed in range(repetitions(default=5, full=30)):
-            result = quantify(
-                _SHARED_FACTORS, _SHARED_PROFILE, QCoralConfig.strat_partcache(2_000, seed=seed)
-            )
+            result = quantify(_SHARED_FACTORS, _SHARED_PROFILE, QCoralConfig.strat_partcache(2_000, seed=seed))
             estimates.append(result.mean)
             reported.append(result.variance)
         empirical = float(np.var(estimates, ddof=1))

@@ -72,9 +72,7 @@ def run_once(name: str, executor: Optional[str], workers: Optional[int], budget:
     steady-state throughput a long-lived analyzer would see.
     """
     solid = solid_by_name(name)
-    config = QCoralConfig(
-        samples_per_query=budget, seed=seed, executor=executor, workers=workers, chunk_size=CHUNK
-    )
+    config = QCoralConfig(samples_per_query=budget, seed=seed, executor=executor, workers=workers, chunk_size=CHUNK)
     backend = make_executor(executor, workers) if executor is not None else None
     try:
         if backend is not None:
@@ -118,9 +116,7 @@ def collect_results(budget: int = BUDGET, repeats: int = 2) -> Dict:
         runs.append(_best_of(name, "thread", 4, budget, repeats))
 
         reference = (serial["mean"], serial["variance"], serial["samples"])
-        deterministic = all(
-            (run["mean"], run["variance"], run["samples"]) == reference for run in runs
-        )
+        deterministic = all((run["mean"], run["variance"], run["samples"]) == reference for run in runs)
         speedups = {
             f"process_x{run['workers']}": serial["seconds"] / run["seconds"]
             for run in runs

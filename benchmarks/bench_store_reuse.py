@@ -44,9 +44,7 @@ BUDGET = 100_000 if FULL_SCALE else 10_000
 #: The subject program and a one-constraint mutation of it (the changed branch
 #: is the sampled flap-angle factor; the altitude factors are untouched).
 SUBJECT = programs.SAFETY_MONITOR
-MUTATED = programs.SAFETY_MONITOR.replace(
-    "sin(headFlap * tailFlap) > 0.25", "sin(headFlap * tailFlap) > 0.3"
-)
+MUTATED = programs.SAFETY_MONITOR.replace("sin(headFlap * tailFlap) > 0.25", "sin(headFlap * tailFlap) > 0.3")
 EVENT = programs.SAFETY_MONITOR_EVENT
 
 

@@ -59,9 +59,7 @@ def generate_table() -> Table:
             report.estimate.variance,
         )
     table.add_row("hit-or-miss (whole domain)", 1.0, plain.estimate.mean, plain.estimate.variance)
-    table.add_row(
-        "stratified (combined)", 1.0, stratified.estimate.mean, stratified.estimate.variance
-    )
+    table.add_row("stratified (combined)", 1.0, stratified.estimate.mean, stratified.estimate.variance)
     return table
 
 

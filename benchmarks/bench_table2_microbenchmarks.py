@@ -33,9 +33,7 @@ def generate_table() -> Table:
     for solid in all_solids():
         cells = [solid.analytical_volume]
         for budget in budgets:
-            aggregated = repeat_analysis(
-                lambda seed: run_solid(solid, budget, seed), runs=repetitions(), base_seed=100
-            )
+            aggregated = repeat_analysis(lambda seed: run_solid(solid, budget, seed), runs=repetitions(), base_seed=100)
             cells.extend([aggregated.mean_estimate, aggregated.empirical_std])
         table.add_row(f"{solid.name} [{solid.group}]", *cells)
     return table

@@ -58,9 +58,7 @@ def generate_table() -> Table:
         constraint_set = subject.constraint_set(assertion)
         statistics = constraint_set_statistics(constraint_set)
         profile = subject.profile()
-        domain = profile.restrict(sorted(constraint_set.free_variables())).domain() if len(
-            constraint_set
-        ) else None
+        domain = profile.restrict(sorted(constraint_set.free_variables())).domain() if len(constraint_set) else None
 
         if domain is not None and len(constraint_set):
             numint = integrate_indicator(constraint_set, domain, NUMINT_CONFIG)
@@ -117,9 +115,7 @@ class TestTable3Benchmarks:
     def test_volcomp_baseline(self, benchmark):
         subject = subject_by_name("CORONARY")
         constraint_set = subject.constraint_set(subject.assertion("tmp >= 5"))
-        result = benchmark(
-            lambda: bound_probability(constraint_set, subject.profile(), VOLCOMP_CONFIG)
-        )
+        result = benchmark(lambda: bound_probability(constraint_set, subject.profile(), VOLCOMP_CONFIG))
         assert result.lower <= result.upper
 
     def test_numerical_integration_baseline(self, benchmark):

@@ -76,9 +76,7 @@ class TestTable4Benchmarks:
     @pytest.mark.parametrize("name", ["Conflict", "Turn Logic"])
     def test_full_configuration(self, benchmark, name):
         subject = subject_by_name(name, scale=SCALE)
-        mean, _ = benchmark(
-            lambda: run_configuration(subject, "full", QCoralConfig.strat_partcache, 1_000, seed=2)
-        )
+        mean, _ = benchmark(lambda: run_configuration(subject, "full", QCoralConfig.strat_partcache, 1_000, seed=2))
         assert 0.0 <= mean <= 1.05
 
     def test_monte_carlo_baseline(self, benchmark):
@@ -108,10 +106,7 @@ class TestTable4Benchmarks:
 
     def test_configurations_agree_on_the_estimate(self):
         subject = subject_by_name("Turn Logic", scale=0.75)
-        means = [
-            run_configuration(subject, label, factory, 4_000, seed=8)[0]
-            for label, factory in CONFIGURATIONS
-        ]
+        means = [run_configuration(subject, label, factory, 4_000, seed=8)[0] for label, factory in CONFIGURATIONS]
         assert max(means) - min(means) < 0.1
 
 

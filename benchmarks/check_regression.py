@@ -1,0 +1,173 @@
+"""Gate CI on the committed benchmark baselines.
+
+Compares the freshly produced ``benchmarks/BENCH_*.json`` files in the working
+tree against the versions committed at ``HEAD`` (the baselines) and fails when
+a tracked quality metric regressed by more than the tolerance:
+
+* **σ ratios** (``BENCH_adaptive.json`` / ``BENCH_importance.json``) — lower
+  is better; a fresh ratio above ``baseline × 1.2 + 0.05`` fails.  The small
+  absolute slack keeps near-zero baselines (subjects the importance engine
+  resolves exactly) from turning float noise into a gate failure.
+* **warm reuse fractions** (``BENCH_store.json``) — higher is better; a fresh
+  fraction below ``baseline × 0.8`` fails.
+
+Families whose fresh file was not produced this run, or whose baseline does
+not exist at ``HEAD`` yet (a newly introduced family), are skipped with a
+notice — a partial benchmark run must not fail the gate spuriously.
+
+Escape hatch: set ``QCORAL_BENCH_ALLOW_REGRESSION=1`` to report regressions
+without failing (use when a regression is understood and the baselines are
+being re-recorded in the same change).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: Relative regression tolerance on σ ratios (lower is better).
+SIGMA_RATIO_TOLERANCE = 0.20
+
+#: Absolute slack added on top, so exactly-resolved subjects (ratio ≈ 0)
+#: cannot fail on float noise.
+SIGMA_RATIO_SLACK = 0.05
+
+#: Relative regression tolerance on reuse fractions (higher is better).
+REUSE_FRACTION_TOLERANCE = 0.20
+
+#: Environment variable that downgrades failures to warnings.
+OVERRIDE_ENV = "QCORAL_BENCH_ALLOW_REGRESSION"
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+_REPO_DIR = os.path.dirname(_BENCH_DIR)
+
+
+@dataclass
+class Finding:
+    """One metric comparison: where it came from and whether it regressed."""
+
+    family: str
+    metric: str
+    baseline: float
+    fresh: float
+    regressed: bool
+
+    def render(self) -> str:
+        status = "REGRESSED" if self.regressed else "ok"
+        return (f"[{status:>9}] {self.family}: {self.metric} " f"baseline={self.baseline:.6f} fresh={self.fresh:.6f}")
+
+
+def load_fresh(name: str) -> Optional[dict]:
+    """The working-tree benchmark summary, or None when this run skipped it."""
+    path = os.path.join(_BENCH_DIR, name)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def load_baseline(name: str) -> Optional[dict]:
+    """The summary committed at HEAD, or None for a brand-new family."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:benchmarks/{name}"],
+            cwd=_REPO_DIR,
+            capture_output=True,
+            check=True,
+            text=True,
+        ).stdout
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return None
+    try:
+        return json.loads(blob)
+    except json.JSONDecodeError:
+        return None
+
+
+def compare_sigma_ratios(family: str, baseline: dict, fresh: dict, key: str) -> List[Finding]:
+    """Per-subject σ-ratio comparison of one ``{key: {subjects: [...]}}`` summary."""
+    findings: List[Finding] = []
+    base_rows = {row["subject"]: row for row in baseline.get(key, {}).get("subjects", [])}
+    fresh_rows = {row["subject"]: row for row in fresh.get(key, {}).get("subjects", [])}
+    for subject, base_row in base_rows.items():
+        fresh_row = fresh_rows.get(subject)
+        if fresh_row is None:
+            continue
+        base_ratio = float(base_row["sigma_ratio"])
+        fresh_ratio = float(fresh_row["sigma_ratio"])
+        ceiling = base_ratio * (1.0 + SIGMA_RATIO_TOLERANCE) + SIGMA_RATIO_SLACK
+        findings.append(Finding(family, f"{subject} sigma_ratio", base_ratio, fresh_ratio, fresh_ratio > ceiling))
+    return findings
+
+
+def compare_reuse_fractions(family: str, baseline: dict, fresh: dict) -> List[Finding]:
+    """Warm-phase reuse-fraction comparison of the store summary."""
+    findings: List[Finding] = []
+    for key, base_payload in baseline.items():
+        fresh_payload = fresh.get(key)
+        if not isinstance(base_payload, dict) or fresh_payload is None:
+            continue
+        base_warm = base_payload.get("warm", {}).get("reuse_fraction")
+        fresh_warm = fresh_payload.get("warm", {}).get("reuse_fraction")
+        if base_warm is None or fresh_warm is None:
+            continue
+        floor = float(base_warm) * (1.0 - REUSE_FRACTION_TOLERANCE)
+        findings.append(
+            Finding(
+                family,
+                f"{key} warm reuse_fraction",
+                float(base_warm),
+                float(fresh_warm),
+                float(fresh_warm) < floor,
+            )
+        )
+    return findings
+
+
+#: Benchmark families and the comparator handling each.
+FAMILIES = (
+    ("BENCH_adaptive.json", lambda b, f: compare_sigma_ratios("adaptive", b, f, "adaptive_allocation")),
+    ("BENCH_importance.json", lambda b, f: compare_sigma_ratios("importance", b, f, "importance")),
+    ("BENCH_store.json", lambda b, f: compare_reuse_fractions("store", b, f)),
+)
+
+
+def main() -> int:
+    findings: List[Finding] = []
+    for name, comparator in FAMILIES:
+        fresh = load_fresh(name)
+        if fresh is None:
+            print(f"[   skipped] {name}: not produced by this run")
+            continue
+        baseline = load_baseline(name)
+        if baseline is None:
+            print(f"[   skipped] {name}: no committed baseline at HEAD (new family)")
+            continue
+        findings.extend(comparator(baseline, fresh))
+
+    for finding in findings:
+        print(finding.render())
+
+    regressions = [finding for finding in findings if finding.regressed]
+    if not regressions:
+        print(f"\nbenchmark regression gate: {len(findings)} metrics ok")
+        return 0
+    if os.environ.get(OVERRIDE_ENV, "") not in ("", "0", "false", "False"):
+        print(
+            f"\nbenchmark regression gate: {len(regressions)} regression(s) WAIVED "
+            f"({OVERRIDE_ENV} is set — re-record the baselines in this change)"
+        )
+        return 0
+    print(
+        f"\nbenchmark regression gate: {len(regressions)} regression(s); "
+        f"set {OVERRIDE_ENV}=1 to waive while re-recording baselines"
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

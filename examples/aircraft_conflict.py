@@ -60,7 +60,6 @@ def main() -> None:
     print("Conflict probe: probability of losing separation within the horizon")
     print("=" * 76)
 
-    uniform = None  # default profile derived from the declared input bounds
     analyze_under_profile("uniform traffic", UsageProfile.uniform(
         {
             "x1": (0, 50), "y1": (0, 50), "x2": (0, 50), "y2": (0, 50),

@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 import tempfile
 
-from repro import QCoralAnalyzer, QCoralConfig, UsageProfile, parse_constraint_set, quantify
+from repro import QCoralConfig, UsageProfile, parse_constraint_set, quantify
 from repro.analysis.pipeline import analyze_program
 from repro.analysis.results import reuse_summary
 from repro.subjects import programs
@@ -51,9 +51,7 @@ def compare_feature_configurations() -> None:
     print("=" * 72)
 
     profile = UsageProfile.uniform({"x": (-3, 3), "y": (-3, 3), "z": (0, 10)})
-    constraint_set = parse_constraint_set(
-        "x * x + y * y <= 4 && z <= 2 || x * x + y * y <= 4 && z > 2 && z <= 5"
-    )
+    constraint_set = parse_constraint_set("x * x + y * y <= 4 && z <= 2 || x * x + y * y <= 4 && z > 2 && z <= 5")
 
     for config in (
         QCoralConfig.plain(10_000, seed=7),
@@ -98,16 +96,11 @@ def run_in_parallel() -> None:
 
     results = {}
     for executor, workers in (("serial", None), ("thread", 2), ("process", 2)):
-        config = QCoralConfig(
-            samples_per_query=200_000, seed=11, executor=executor, workers=workers
-        )
+        config = QCoralConfig(samples_per_query=200_000, seed=11, executor=executor, workers=workers)
         result = quantify(constraint_set, profile, config)
         label = executor if workers is None else f"{executor}×{workers}"
         results[label] = result
-        print(
-            f"{label:12s} estimate={result.mean:.6f} std={result.std:.3e} "
-            f"time={result.analysis_time:.2f}s"
-        )
+        print(f"{label:12s} estimate={result.mean:.6f} std={result.std:.3e} " f"time={result.analysis_time:.2f}s")
     estimates = {(r.mean, r.variance) for r in results.values()}
     print(f"bit-identical across backends: {len(estimates) == 1}")
     print()
@@ -125,9 +118,7 @@ def reuse_across_runs() -> None:
     try:
         config = QCoralConfig.strat_partcache(30_000, seed=1).with_store(store_path)
         for label in ("cold", "warm"):
-            result = analyze_program(
-                programs.SAFETY_MONITOR, programs.SAFETY_MONITOR_EVENT, config=config
-            )
+            result = analyze_program(programs.SAFETY_MONITOR, programs.SAFETY_MONITOR_EVENT, config=config)
             stats = result.qcoral_result.cache_statistics
             print(
                 f"{label:5s} P = {result.mean:.6f}  samples drawn = "

@@ -25,9 +25,7 @@ from repro.symexec import execute_program, parse_program
 
 def main() -> None:
     program = parse_program(programs.SAFETY_MONITOR, name="safety-monitor")
-    print("Program inputs:", ", ".join(
-        f"{name} in [{lo}, {hi}]" for name, (lo, hi) in program.input_bounds().items()
-    ))
+    print("Program inputs:", ", ".join(f"{name} in [{lo}, {hi}]" for name, (lo, hi) in program.input_bounds().items()))
 
     # Stage 1: bounded symbolic execution (the SPF substitute).
     symbolic = execute_program(program)

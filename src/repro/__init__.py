@@ -25,11 +25,17 @@ from repro.exec import (
     make_executor,
 )
 from repro.core.profiles import (
+    BinomialDistribution,
+    CategoricalDistribution,
     PiecewiseUniformDistribution,
+    TruncatedGeometricDistribution,
     TruncatedNormalDistribution,
+    TruncatedPoissonDistribution,
     UniformDistribution,
     UsageProfile,
+    parse_distribution_spec,
 )
+from repro.core.importance import ESTIMATION_METHODS, ImportanceSampler, importance_sampling
 from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult, quantify
 from repro.store import (
     STORE_BACKENDS,
@@ -56,6 +62,14 @@ __all__ = [
     "UniformDistribution",
     "TruncatedNormalDistribution",
     "PiecewiseUniformDistribution",
+    "BinomialDistribution",
+    "TruncatedPoissonDistribution",
+    "TruncatedGeometricDistribution",
+    "CategoricalDistribution",
+    "parse_distribution_spec",
+    "ESTIMATION_METHODS",
+    "ImportanceSampler",
+    "importance_sampling",
     "QCoralAnalyzer",
     "QCoralConfig",
     "QCoralResult",

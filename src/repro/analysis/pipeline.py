@@ -81,10 +81,7 @@ class PipelineResult:
     @property
     def confidence_note(self) -> str:
         """Human-readable statement of the bounded-path probability mass."""
-        return (
-            f"probability mass of paths hitting the execution bound: "
-            f"{self.bounded_probability.mean:.6f}"
-        )
+        return (f"probability mass of paths hitting the execution bound: " f"{self.bounded_probability.mean:.6f}")
 
 
 class ProbabilisticAnalysisPipeline:
@@ -123,9 +120,7 @@ class ProbabilisticAnalysisPipeline:
     def symbolic_execution(self) -> SymbolicExecutionResult:
         """Run (and cache) the bounded symbolic execution of the program."""
         if self._symbolic_result is None:
-            self._symbolic_result = execute_program(
-                self._program, max_depth=self._max_depth, max_paths=self._max_paths
-            )
+            self._symbolic_result = execute_program(self._program, max_depth=self._max_depth, max_paths=self._max_paths)
         return self._symbolic_result
 
     def analyzer(self) -> QCoralAnalyzer:
@@ -143,9 +138,7 @@ class ProbabilisticAnalysisPipeline:
         on the same worker pool and reuses/merges against the same store.
         """
         if self._analyzer is None:
-            self._analyzer = QCoralAnalyzer(
-                self._profile, self._config, executor=self._executor, store=self._store
-            )
+            self._analyzer = QCoralAnalyzer(self._profile, self._config, executor=self._executor, store=self._store)
         return self._analyzer
 
     def close(self) -> None:

@@ -173,15 +173,11 @@ def repeat_analysis(
     """
     if runs < 1:
         raise ValueError("at least one run is required")
-    outcomes = _run_trials(
-        functools.partial(_timed_plain_trial, run), trial_seeds(runs, base_seed), executor
-    )
+    outcomes = _run_trials(functools.partial(_timed_plain_trial, run), trial_seeds(runs, base_seed), executor)
     return RepeatedResult(outcomes)
 
 
-def _timed_quantification_trial(
-    run: Callable[[int], "QCoralResult"], seed: int
-) -> TrialOutcome:
+def _timed_quantification_trial(run: Callable[[int], "QCoralResult"], seed: int) -> TrialOutcome:
     started = time.perf_counter()
     result = run(seed)
     elapsed = time.perf_counter() - started
@@ -215,7 +211,5 @@ def repeat_quantification(
     """
     if runs < 1:
         raise ValueError("at least one run is required")
-    outcomes = _run_trials(
-        functools.partial(_timed_quantification_trial, run), trial_seeds(runs, base_seed), executor
-    )
+    outcomes = _run_trials(functools.partial(_timed_quantification_trial, run), trial_seeds(runs, base_seed), executor)
     return RepeatedResult(outcomes)

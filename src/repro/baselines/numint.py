@@ -23,7 +23,7 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -174,7 +174,5 @@ def nintegrate(
     time_budget: float = 300.0,
 ) -> NumericalIntegrationResult:
     """Convenience wrapper with keyword configuration."""
-    config = NumIntConfig(
-        accuracy_goal=accuracy_goal, max_regions=max_regions, time_budget=time_budget
-    )
+    config = NumIntConfig(accuracy_goal=accuracy_goal, max_regions=max_regions, time_budget=time_budget)
     return integrate_indicator(constraint_set, domain, config)

@@ -16,35 +16,49 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.pipeline import analyze_program
 from repro.analysis.results import convergence_table, reuse_summary
-from repro.core.profiles import UsageProfile
+from repro.core.importance import DEFAULT_MASS_SPLIT_BOXES, ESTIMATION_METHODS
+from repro.core.profiles import (
+    Distribution,
+    UniformDistribution,
+    UsageProfile,
+    parse_distribution_spec,
+)
 from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult
 from repro.errors import ReproError
 from repro.exec.executor import EXECUTOR_KINDS
 from repro.lang.parser import parse_constraint_set
 from repro.store.backends import STORE_BACKENDS
+from repro.symexec.parser import parse_program
 
 
-def _parse_domain(specs: Sequence[str]) -> Dict[str, Tuple[float, float]]:
-    """Parse ``name=lo:hi`` command-line domain specifications."""
-    bounds: Dict[str, Tuple[float, float]] = {}
+def _parse_domain(specs: Sequence[str]) -> Dict[str, Distribution]:
+    """Parse ``name=SPEC`` command-line domain specifications.
+
+    ``SPEC`` is any form :func:`repro.core.profiles.parse_distribution_spec`
+    accepts — the historical ``lo:hi`` uniform, discrete forms such as
+    ``int:0:20`` / ``binomial:20:0.3`` / ``poisson:4:0:30``, or
+    ``normal:mean:std:lo:hi``.
+    """
+    distributions: Dict[str, Distribution] = {}
     for spec in specs:
-        try:
-            name, interval = spec.split("=", 1)
-            low_text, high_text = interval.split(":", 1)
-            bounds[name.strip()] = (float(low_text), float(high_text))
-        except ValueError as exc:
-            raise ReproError(f"invalid domain specification {spec!r}; expected name=lo:hi") from exc
-    return bounds
+        if "=" not in spec:
+            raise ReproError(f"invalid domain specification {spec!r}; expected name=SPEC")
+        name, distribution = spec.split("=", 1)
+        distributions[name.strip()] = parse_distribution_spec(distribution)
+    return distributions
 
 
 def _config_from_args(args: argparse.Namespace) -> QCoralConfig:
     return QCoralConfig(
         samples_per_query=args.samples,
         stratified=not args.no_strat,
+        method=args.method,
+        mass_split_boxes=args.mass_split_boxes,
+        mass_split_adaptive=args.mass_split_adaptive,
         partition_and_cache=not args.no_partcache,
         seed=args.seed,
         target_std=args.target_std,
@@ -63,9 +77,7 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--samples", type=int, default=30_000, help="sampling budget per query")
     parser.add_argument("--seed", type=int, default=None, help="random seed")
     parser.add_argument("--no-strat", action="store_true", help="disable ICP stratified sampling")
-    parser.add_argument(
-        "--no-partcache", action="store_true", help="disable partitioning and caching"
-    )
+    parser.add_argument("--no-partcache", action="store_true", help="disable partitioning and caching")
     parser.add_argument(
         "--target-std",
         type=float,
@@ -85,10 +97,34 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         help="fraction of the budget spent in the pilot round of an adaptive run",
     )
     parser.add_argument(
+        "--method",
+        choices=list(ESTIMATION_METHODS),
+        default="hit-or-miss",
+        help=(
+            "estimation method: hit-or-miss (paper) or importance "
+            "(mass-refined pavings, mass-aware allocation, self-normalised "
+            "combination — lower sigma on peaked profiles)"
+        ),
+    )
+    parser.add_argument(
+        "--mass-split-boxes",
+        type=int,
+        default=DEFAULT_MASS_SPLIT_BOXES,
+        metavar="N",
+        help="stratum cap of the importance method's mass-driven paving refinement",
+    )
+    parser.add_argument(
+        "--mass-split-adaptive",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra adaptive splits the importance sampler may spend while sampling",
+    )
+    parser.add_argument(
         "--allocation",
-        choices=["even", "neyman"],
+        choices=["even", "neyman", "mass"],
         default="even",
-        help="per-stratum budget split: even (paper) or neyman (variance-driven)",
+        help="per-stratum budget split: even (paper), neyman (variance-driven), or mass",
     )
     parser.add_argument(
         "--show-rounds",
@@ -148,7 +184,37 @@ def _command_analyze(args: argparse.Namespace) -> int:
     with open(args.program, "r", encoding="utf-8") as handle:
         source = handle.read()
     config = _config_from_args(args)
-    result = analyze_program(source, args.event, config=config, max_depth=args.max_depth)
+    profile = None
+    overrides = _parse_domain(args.domain)
+    if overrides:
+        # Start from the program's declared uniform input bounds and replace
+        # the overridden variables' distributions (e.g. a discrete profile).
+        bounds = parse_program(source).input_bounds()
+        unknown = sorted(set(overrides) - set(bounds))
+        if unknown:
+            raise ReproError(
+                f"--domain overrides unknown program inputs {unknown}; "
+                f"declared inputs: {sorted(bounds)}"
+            )
+        for name, distribution in overrides.items():
+            low, high = bounds[name]
+            support = distribution.support
+            if support.lo < low - 1e-9 or support.hi > high + 1e-9:
+                # Symbolic execution prunes branches against the *declared*
+                # bounds, so a wider override would silently drop the
+                # probability mass of paths feasible only outside them.
+                raise ReproError(
+                    f"--domain override for {name!r} has support "
+                    f"[{support.lo}, {support.hi}] outside the declared "
+                    f"bounds [{low}, {high}]; widen the program's input "
+                    f"declaration instead"
+                )
+        distributions: Dict[str, Distribution] = {
+            name: UniformDistribution(low, high) for name, (low, high) in bounds.items()
+        }
+        distributions.update(overrides)
+        profile = UsageProfile(distributions)
+    result = analyze_program(source, args.event, profile=profile, config=config, max_depth=args.max_depth)
     print(f"event:        {args.event}")
     print(f"paths:        {len(result.qcoral_result.path_reports)}")
     print(f"probability:  {result.mean:.6f}")
@@ -176,8 +242,7 @@ def _command_quantify(args: argparse.Namespace) -> int:
         print("error: provide constraints inline or via --constraints-file", file=sys.stderr)
         return 2
     constraint_set = parse_constraint_set(text)
-    bounds = _parse_domain(args.domain)
-    profile = UsageProfile.uniform(bounds)
+    profile = UsageProfile(_parse_domain(args.domain))
     config = _config_from_args(args)
     with QCoralAnalyzer(profile, config) as analyzer:
         result = analyzer.analyze(constraint_set)
@@ -212,6 +277,17 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("program", help="path to the program source file")
     analyze.add_argument("event", help="target event name (or assert.violation)")
     analyze.add_argument("--max-depth", type=int, default=50, help="symbolic execution bound")
+    analyze.add_argument(
+        "--domain",
+        action="append",
+        default=[],
+        metavar="VAR=SPEC",
+        help=(
+            "override one input's distribution (repeatable); SPEC is lo:hi, "
+            "int:lo:hi, binomial:n:p, poisson:rate:lo:hi, geometric:p:lo:hi, "
+            "categorical:lo:w1,w2,..., or normal:mean:std:lo:hi"
+        ),
+    )
     _add_common_options(analyze)
     analyze.set_defaults(handler=_command_analyze)
 
@@ -222,8 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--domain",
         action="append",
         default=[],
-        metavar="VAR=LO:HI",
-        help="domain of one input variable (repeatable)",
+        metavar="VAR=SPEC",
+        help=(
+            "domain of one input variable (repeatable); SPEC is lo:hi, "
+            "int:lo:hi, binomial:n:p, poisson:rate:lo:hi, geometric:p:lo:hi, "
+            "categorical:lo:w1,w2,..., or normal:mean:std:lo:hi"
+        ),
     )
     _add_common_options(quantify)
     quantify.set_defaults(handler=_command_quantify)

@@ -13,6 +13,11 @@ from repro.core.dependency import (
     partition_for_constraint_set,
 )
 from repro.core.estimate import Estimate, RunningEstimate, product_independent, sum_disjoint
+from repro.core.importance import (
+    ESTIMATION_METHODS,
+    ImportanceSampler,
+    importance_sampling,
+)
 from repro.core.montecarlo import (
     SamplingResult,
     hit_or_miss,
@@ -20,11 +25,17 @@ from repro.core.montecarlo import (
     hit_or_miss_sharded,
 )
 from repro.core.profiles import (
+    BinomialDistribution,
+    CategoricalDistribution,
+    DiscreteDistribution,
     Distribution,
     PiecewiseUniformDistribution,
+    TruncatedGeometricDistribution,
     TruncatedNormalDistribution,
+    TruncatedPoissonDistribution,
     UniformDistribution,
     UsageProfile,
+    parse_distribution_spec,
 )
 from repro.core.qcoral import (
     FactorReport,
@@ -56,6 +67,15 @@ __all__ = [
     "UniformDistribution",
     "TruncatedNormalDistribution",
     "PiecewiseUniformDistribution",
+    "DiscreteDistribution",
+    "BinomialDistribution",
+    "TruncatedPoissonDistribution",
+    "TruncatedGeometricDistribution",
+    "CategoricalDistribution",
+    "parse_distribution_spec",
+    "ESTIMATION_METHODS",
+    "ImportanceSampler",
+    "importance_sampling",
     "SamplingResult",
     "hit_or_miss",
     "hit_or_miss_constraint_set",

@@ -165,9 +165,7 @@ class EstimateCache:
         with self._lock:
             self._statistics.warm_starts += 1
 
-    def get_or_compute(
-        self, factor: ast.PathCondition, compute: Callable[[], Estimate]
-    ) -> Estimate:
+    def get_or_compute(self, factor: ast.PathCondition, compute: Callable[[], Estimate]) -> Estimate:
         """Return the cached estimate or compute, store, and return a new one.
 
         ``compute`` runs outside the lock (it may sample for a long time), so

@@ -48,6 +48,11 @@ from repro.core.composition import (
 )
 from repro.core.dependency import DependencyPartition, compute_dependency_partition
 from repro.core.estimate import Estimate
+from repro.core.importance import (
+    DEFAULT_MASS_SPLIT_BOXES,
+    ESTIMATION_METHODS,
+    ImportanceSampler,
+)
 from repro.core.montecarlo import SamplingResult, hit_or_miss
 from repro.core.profiles import UsageProfile
 from repro.core.stratified import (
@@ -56,7 +61,7 @@ from repro.core.stratified import (
     allocate_budget,
     laplace_sigma_floor,
 )
-from repro.errors import AnalysisError, ConfigurationError
+from repro.errors import ConfigurationError
 from repro.exec.executor import EXECUTOR_KINDS, Executor, resolve_executor
 from repro.exec.scheduler import SamplingTask, run_sampling_tasks, shard_budget
 from repro.exec.seeds import SeedStream
@@ -68,7 +73,13 @@ from repro.lang.compiler import compile_path_condition
 from repro.lang.simplify import simplify_path_condition
 from repro.store.backends import STORE_BACKENDS, EstimateStore, open_store
 from repro.store.entry import StoreEntry
-from repro.store.keys import FactorKey, StoreContext, mc_method, stratified_method
+from repro.store.keys import (
+    FactorKey,
+    StoreContext,
+    importance_method,
+    mc_method,
+    stratified_method,
+)
 
 #: Rounds used when an adaptive feature is requested without an explicit
 #: ``max_rounds`` (pilot + re-allocation rounds).
@@ -85,6 +96,24 @@ class QCoralConfig:
             in adaptive runs the budget of all factors is pooled and
             re-allocated where the variance is.
         stratified: Enable the STRAT feature (ICP + stratified sampling).
+        method: Estimation method for the sampled factors: ``"hit-or-miss"``
+            (the paper's sampling inside the ICP paving) or ``"importance"``
+            (distribution-aware importance sampling: the paving is refined by
+            splitting the highest-mass×variance boxes, budget follows
+            ``mass · σ̂``, and the combination is self-normalised — see
+            :mod:`repro.core.importance`).  ``"importance"`` requires
+            ``stratified``; it upgrades an ``"even"`` allocation to
+            ``"neyman"`` and a single-round budget to the adaptive loop, since
+            mass-aware allocation is the point of the method.
+        mass_split_boxes: Stratum-count cap of the upfront mass-driven paving
+            refinement (importance method only).  The refinement is a pure
+            function of the paving, the profile, and this knob, so refined
+            pavings — and persistent-store fingerprints — are reproducible.
+        mass_split_adaptive: Extra splits the importance sampler may spend
+            *during* sampling on the observed worst variance contributors
+            (0 disables).  The split stratum's counts are written off and the
+            final paving depends on the sample history, so cross-run store
+            pooling is reduced for the affected factors.
         partition_and_cache: Enable the PARTCACHE feature (independent-factor
             decomposition with caching).
         seed: Seed for the NumPy random generator; None draws fresh entropy.
@@ -130,6 +159,9 @@ class QCoralConfig:
 
     samples_per_query: int = 30_000
     stratified: bool = True
+    method: str = "hit-or-miss"
+    mass_split_boxes: int = DEFAULT_MASS_SPLIT_BOXES
+    mass_split_adaptive: int = 0
     partition_and_cache: bool = True
     seed: Optional[int] = None
     icp: ICPConfig = PAPER_CONFIG
@@ -158,10 +190,20 @@ class QCoralConfig:
             raise ConfigurationError(
                 f"unknown allocation policy {self.allocation!r}; expected one of {ALLOCATION_POLICIES}"
             )
+        if self.method not in ESTIMATION_METHODS:
+            raise ConfigurationError(f"unknown estimation method {self.method!r}; expected one of {ESTIMATION_METHODS}")
+        if self.method == "importance" and not self.stratified:
+            raise ConfigurationError("the importance method refines ICP pavings and requires stratified=True")
+        if self.mass_split_boxes < 1:
+            raise ConfigurationError("mass_split_boxes must be at least 1")
+        if self.mass_split_adaptive < 0:
+            raise ConfigurationError("mass_split_adaptive may not be negative")
+        if self.method == "importance" and self.allocation == "even":
+            # Mass-aware budget allocation is the point of the method; the
+            # paper's equal split would waste the refined paving.
+            object.__setattr__(self, "allocation", "neyman")
         if self.executor is not None and self.executor not in EXECUTOR_KINDS:
-            raise ConfigurationError(
-                f"unknown executor kind {self.executor!r}; expected one of {EXECUTOR_KINDS}"
-            )
+            raise ConfigurationError(f"unknown executor kind {self.executor!r}; expected one of {EXECUTOR_KINDS}")
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError("workers must be positive when set")
         if self.workers is not None and self.executor is None:
@@ -169,12 +211,14 @@ class QCoralConfig:
         if self.chunk_size is not None and self.chunk_size <= 0:
             raise ConfigurationError("chunk_size must be positive when set")
         if self.store_backend is not None and self.store_backend not in STORE_BACKENDS:
-            raise ConfigurationError(
-                f"unknown store backend {self.store_backend!r}; expected one of {STORE_BACKENDS}"
-            )
+            raise ConfigurationError(f"unknown store backend {self.store_backend!r}; expected one of {STORE_BACKENDS}")
         if self.store_readonly and not self.wants_store:
             raise ConfigurationError("store_readonly requires a store path or backend")
-        if self.max_rounds == 1 and (self.target_std is not None or self.allocation == "neyman"):
+        if self.max_rounds == 1 and (
+            self.target_std is not None
+            or self.allocation == "neyman"
+            or self.method == "importance"
+        ):
             # An adaptive feature without rounds cannot act; give it rounds.
             object.__setattr__(self, "max_rounds", DEFAULT_ADAPTIVE_ROUNDS)
 
@@ -233,6 +277,25 @@ class QCoralConfig:
             allocation="neyman",
         )
 
+    @staticmethod
+    def importance(
+        samples: int = 30_000,
+        seed: Optional[int] = None,
+        target_std: Optional[float] = None,
+        mass_split_boxes: int = DEFAULT_MASS_SPLIT_BOXES,
+        mass_split_adaptive: int = 0,
+    ) -> "QCoralConfig":
+        """qCORAL{STRAT, PARTCACHE, IMP}: distribution-aware importance sampling."""
+        return QCoralConfig(
+            samples_per_query=samples,
+            seed=seed,
+            target_std=target_std,
+            method="importance",
+            mass_split_boxes=mass_split_boxes,
+            mass_split_adaptive=mass_split_adaptive,
+            allocation="neyman",
+        )
+
     def feature_label(self) -> str:
         """Human-readable feature-set label, e.g. ``qCORAL{STRAT,PARTCACHE}``."""
         features = []
@@ -242,6 +305,8 @@ class QCoralConfig:
             features.append("PARTCACHE")
         if self.is_adaptive:
             features.append("ADAPT")
+        if self.method == "importance":
+            features.append("IMP")
         return "qCORAL{" + ",".join(features) + "}"
 
     def with_samples(self, samples: int) -> "QCoralConfig":
@@ -377,6 +442,7 @@ class _FactorState:
         "prior_samples",
         "prior_spawned",
         "prior_strata",
+        "prior_fingerprint",
         "warm",
         "rng",
     )
@@ -400,6 +466,7 @@ class _FactorState:
         self.prior_samples = 0
         self.prior_spawned = 0
         self.prior_strata: Optional[Tuple[Tuple[int, int], ...]] = None
+        self.prior_fingerprint: Optional[str] = None
         self.warm = False
         # Serial-path override generator for warm-started factors (None on
         # the sharded path and for cold factors, which use the shared rng).
@@ -473,18 +540,22 @@ class QCoralAnalyzer:
             self._store: Optional[EstimateStore] = store
             self._owns_store = False
         elif config.wants_store:
-            self._store = open_store(
-                config.store_path, config.store_backend, readonly=config.store_readonly
-            )
+            self._store = open_store(config.store_path, config.store_backend, readonly=config.store_readonly)
             self._owns_store = True
         else:
             self._store = None
             self._owns_store = False
         if self._store is not None and config.partition_and_cache:
-            context = StoreContext(
-                profile,
-                stratified_method(config.icp) if config.stratified else mc_method(),
-            )
+            if not config.stratified:
+                method = mc_method()
+            elif config.method == "importance":
+                # Importance-sampled counts live over a mass-refined paving
+                # and must never pool with hit-or-miss counts; the method tag
+                # keys them apart by construction.
+                method = importance_method(config.icp, config.mass_split_boxes)
+            else:
+                method = stratified_method(config.icp)
+            context = StoreContext(profile, method)
             self._cache = EstimateCache(self._store, context)
         else:
             # The store persists exactly what PARTCACHE caches; without the
@@ -676,15 +747,28 @@ class QCoralAnalyzer:
             # factor's — and of the backend executing them.
             state.stream = self._seed_stream.spawn(1)[0]
         if self._config.stratified:
-            sampler = StratifiedSampler(
-                factor,
-                self._profile,
-                None if parallel else self._rng,
-                variables=variables,
-                solver=self._solver,
-                seed_stream=state.stream,
-                chunk_size=self._config.chunk_size,
-            )
+            if self._config.method == "importance":
+                sampler: StratifiedSampler = ImportanceSampler(
+                    factor,
+                    self._profile,
+                    None if parallel else self._rng,
+                    variables=variables,
+                    solver=self._solver,
+                    seed_stream=state.stream,
+                    chunk_size=self._config.chunk_size,
+                    max_boxes=self._config.mass_split_boxes,
+                    adaptive_splits=self._config.mass_split_adaptive,
+                )
+            else:
+                sampler = StratifiedSampler(
+                    factor,
+                    self._profile,
+                    None if parallel else self._rng,
+                    variables=variables,
+                    solver=self._solver,
+                    seed_stream=state.stream,
+                    chunk_size=self._config.chunk_size,
+                )
             if sampler.is_exact:
                 state.exact = sampler.estimate()
             else:
@@ -742,9 +826,7 @@ class QCoralAnalyzer:
             return
         digest32 = int(state.store_key.digest[:8], 16)
         prior_low, prior_high = state.prior_samples % 2**32, state.prior_samples // 2**32
-        sequence = np.random.SeedSequence(
-            self._config.seed, spawn_key=(digest32, prior_low, prior_high)
-        )
+        sequence = np.random.SeedSequence(self._config.seed, spawn_key=(digest32, prior_low, prior_high))
         state.rng = np.random.default_rng(sequence)
         if state.sampler is not None:
             state.sampler.reseed(state.rng)
@@ -752,9 +834,7 @@ class QCoralAnalyzer:
     def _warm_start_mc(self, state: _FactorState, entry: StoreEntry) -> None:
         if entry.kind != "mc" or entry.samples <= 0:
             return
-        state.mc_result = SamplingResult(
-            Estimate.from_hits(entry.hits, entry.samples), entry.hits, entry.samples
-        )
+        state.mc_result = SamplingResult(Estimate.from_hits(entry.hits, entry.samples), entry.hits, entry.samples)
         state.prior_hits = entry.hits
         state.prior_samples = entry.samples
         state.warm = True
@@ -774,6 +854,7 @@ class QCoralAnalyzer:
         sampler.preload_counts(entry.strata)
         state.prior_samples = entry.samples
         state.prior_strata = entry.strata
+        state.prior_fingerprint = fingerprint
         state.warm = True
         self._fast_forward(state, entry.spawned)
         self._cache.record_warm_start()
@@ -803,20 +884,30 @@ class QCoralAnalyzer:
             if state.fresh_samples <= 0:
                 return None
             counts = state.sampler.counts()
+            fingerprint = state.sampler.paving_fingerprint(state.store_key.variables)
+            if state.prior_strata is not None and fingerprint != state.prior_fingerprint:
+                # Adaptive mass splits changed the paving after the stored
+                # prior was preloaded (the fingerprint renders the boxes, so
+                # this also catches in-place replacements that keep the
+                # stratum count unchanged); the loaded counts can no longer
+                # be subtracted per stratum, so this run publishes nothing
+                # rather than corrupt the pooled entry.
+                return None
             prior = state.prior_strata or tuple((0, 0) for _ in counts)
             delta = tuple(
                 (hits - prior_hits, samples - prior_samples)
                 for (hits, samples), (prior_hits, prior_samples) in zip(counts, prior)
             )
-            fingerprint = state.sampler.paving_fingerprint(state.store_key.variables)
+            if any(hits < 0 or samples < 0 or hits > samples for hits, samples in delta):
+                # Belt to the fingerprint guard above: a delta that is not a
+                # valid Bernoulli count pool must never reach the store.
+                return None
             return StoreEntry.from_strata(delta, paving=fingerprint, spawned=spawned)
         if state.mc_result is not None:
             fresh = state.mc_result.samples - state.prior_samples
             if fresh <= 0:
                 return None
-            return StoreEntry.from_mc(
-                state.mc_result.hits - state.prior_hits, fresh, spawned=spawned
-            )
+            return StoreEntry.from_mc(state.mc_result.hits - state.prior_hits, fresh, spawned=spawned)
         if state.exact is not None and state.variables and not state.warm:
             # ICP resolved the factor without sampling this run; store the
             # exact probability so re-runs skip the paving too.
@@ -906,9 +997,7 @@ class QCoralAnalyzer:
             if share <= 0 or not state.sampleable:
                 continue
             if state.sampler is not None:
-                for stratum_index, task in state.sampler.plan_extension(
-                    share, allocation=self._config.allocation
-                ):
+                for stratum_index, task in state.sampler.plan_extension(share, allocation=self._config.allocation):
                     planned.append((state, stratum_index, task))
             else:
                 planned.extend(self._plan_mc_factor(state, share))
@@ -920,9 +1009,7 @@ class QCoralAnalyzer:
                 state.sampler.absorb_chunk(stratum_index, hits, samples)
             else:
                 addition = SamplingResult(Estimate.from_hits(hits, samples), hits, samples)
-                state.mc_result = (
-                    addition if state.mc_result is None else state.mc_result.merge(addition)
-                )
+                state.mc_result = (addition if state.mc_result is None else state.mc_result.merge(addition))
             used += samples
         return used
 
@@ -1017,17 +1104,13 @@ class QCoralAnalyzer:
             priorities.append(math.sqrt(coefficients[id(state)]) * per_sample_std)
         return priorities
 
-    def _combined_estimate(
-        self, plan: Sequence[Tuple[ast.PathCondition, List[Tuple[_FactorState, bool]]]]
-    ) -> Estimate:
+    def _combined_estimate(self, plan: Sequence[Tuple[ast.PathCondition, List[Tuple[_FactorState, bool]]]]) -> Estimate:
         pc_estimates = []
         for pc, occurrences in plan:
             if not pc.constraints:
                 pc_estimates.append(Estimate.one())
             else:
-                pc_estimates.append(
-                    compose_independent_factors(state.estimate() for state, _ in occurrences)
-                )
+                pc_estimates.append(compose_independent_factors(state.estimate() for state, _ in occurrences))
         return compose_disjoint_path_conditions(pc_estimates)
 
     # ------------------------------------------------------------------ #

@@ -46,13 +46,17 @@ from repro.core.montecarlo import hit_or_miss
 from repro.core.profiles import UsageProfile
 from repro.errors import AnalysisError, ConfigurationError
 from repro.icp.config import ICPConfig, PAPER_CONFIG
-from repro.icp.solver import ICPSolver, Paving
+from repro.icp.solver import ICPSolver, PavedBox, Paving
 from repro.intervals.box import Box
 from repro.lang import ast
 from repro.lang.compiler import compile_path_condition
 
-#: Allocation policy names accepted throughout the stack.
-ALLOCATION_POLICIES = ("even", "neyman")
+#: Allocation policy names accepted throughout the stack.  ``"even"`` is the
+#: paper's equal split, ``"neyman"`` the variance-minimising ``w·σ`` split,
+#: and ``"mass"`` the pure mass-proportional split (draws distributed like the
+#: profile restricted to the union of the sampleable boxes — the importance
+#: sampler's proposal before any variance information exists).
+ALLOCATION_POLICIES = ("even", "neyman", "mass")
 
 #: σ assumed for a stratum that has not been sampled yet: the Bernoulli
 #: ceiling, so unexplored strata are prioritised by their weight alone.
@@ -221,12 +225,16 @@ def allocation_priorities(strata: Sequence[Stratum], policy: str) -> List[float]
     equal split); ``"neyman"`` weights each sampleable stratum by
     ``w_i · σ_i`` — the allocation that minimises the combined variance of
     Equation (3) — using the running per-stratum σ (unsampled strata assume
-    the Bernoulli ceiling).
+    the Bernoulli ceiling); ``"mass"`` weights by ``w_i`` alone, i.e. draws
+    land mass-proportionally, as if sampling the profile restricted to the
+    union of the sampleable boxes.
     """
     if policy not in ALLOCATION_POLICIES:
         raise ConfigurationError(f"unknown allocation policy {policy!r}; expected one of {ALLOCATION_POLICIES}")
     if policy == "even":
         return [1.0 if stratum.sampleable else 0.0 for stratum in strata]
+    if policy == "mass":
+        return [stratum.weight if stratum.sampleable else 0.0 for stratum in strata]
     return [stratum.weight * stratum.sigma() if stratum.sampleable else 0.0 for stratum in strata]
 
 
@@ -286,28 +294,37 @@ class StratifiedSampler:
             self._exact = Estimate.exact(1.0 if holds_path_condition(pc, {}) else 0.0)
             return
 
-        domain = profile.restrict(self._names).domain()
+        restricted = profile.restrict(self._names)
+        domain = restricted.domain()
         icp_solver = solver if solver is not None else ICPSolver(icp_config)
-        paving: Paving = icp_solver.pave(pc, domain)
+        self._icp_config = icp_solver.config
+        self._integer_names = restricted.discrete_variables()
+        paving: Paving = icp_solver.pave(pc, domain, integer_variables=self._integer_names)
 
         if paving.is_unsatisfiable():
             self._exact = Estimate.zero()
             return
 
-        for paved in paving.boxes:
-            self._strata.append(Stratum(paved.box, profile.weight(paved.box), paved.inner))
+        for paved in self._refined_boxes(paving):
+            self._strata.append(Stratum(paved.box, profile.mass(paved.box), paved.inner))
 
         if not any(stratum.sampleable for stratum in self._strata):
             # Every box is inner or mass-free: the paving resolves the
             # probability exactly and no budget will ever be consumed.
-            self._exact = Estimate.exact(
-                sum(stratum.weight for stratum in self._strata if stratum.inner)
-            )
+            self._exact = Estimate.exact(sum(stratum.weight for stratum in self._strata if stratum.inner))
             return
 
         # On the sharded path (seed_stream set) workers compile and cache
         # their own predicate; compiling here would be wasted work.
         self._predicate = compile_path_condition(pc) if self._seed_stream is None else None
+
+    def _refined_boxes(self, paving: "Paving") -> Sequence["PavedBox"]:
+        """Hook mapping the ICP paving to the stratum boxes (identity here).
+
+        The importance sampler overrides this to refine the paving further by
+        splitting the highest-mass boxes before any budget is spent.
+        """
+        return paving.boxes
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -382,9 +399,7 @@ class StratifiedSampler:
     # ------------------------------------------------------------------ #
     # Sharded planning (used directly by the analyzer's cross-factor rounds)
     # ------------------------------------------------------------------ #
-    def plan_extension(
-        self, budget: int, allocation: str = "even"
-    ) -> List[Tuple[int, "SamplingTask"]]:
+    def plan_extension(self, budget: int, allocation: str = "even") -> List[Tuple[int, "SamplingTask"]]:
         """Plan ``budget`` samples as seeded ``(stratum_index, task)`` chunks.
 
         The plan is a pure function of the sampler's state and the spawn
@@ -454,9 +469,7 @@ class StratifiedSampler:
         solver has a wall-clock budget).
         """
         if len(counts) != len(self._strata):
-            raise AnalysisError(
-                f"cannot preload {len(counts)} strata into a paving of {len(self._strata)}"
-            )
+            raise AnalysisError(f"cannot preload {len(counts)} strata into a paving of {len(self._strata)}")
         for stratum, (hits, samples) in zip(self._strata, counts):
             if samples:
                 stratum.absorb(int(hits), int(samples))

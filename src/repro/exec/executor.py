@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import concurrent.futures as _futures
 import os
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
 
 from repro.errors import ConfigurationError
 
@@ -121,9 +121,7 @@ class ThreadPoolExecutor(_PooledExecutor):
     kind = "thread"
 
     def _make_pool(self) -> _futures.Executor:
-        return _futures.ThreadPoolExecutor(
-            max_workers=self._workers, thread_name_prefix="qcoral-sample"
-        )
+        return _futures.ThreadPoolExecutor(max_workers=self._workers, thread_name_prefix="qcoral-sample")
 
 
 class ProcessPoolExecutor(_PooledExecutor):
@@ -150,9 +148,7 @@ def make_executor(kind: str, workers: Optional[int] = None) -> Executor:
     raise ConfigurationError(f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}")
 
 
-def resolve_executor(
-    spec: Union[None, str, Executor], workers: Optional[int] = None
-) -> Optional[Executor]:
+def resolve_executor(spec: Union[None, str, Executor], workers: Optional[int] = None) -> Optional[Executor]:
     """Normalise an executor specification (``None`` | kind name | instance)."""
     if spec is None:
         return None

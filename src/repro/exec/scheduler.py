@@ -115,9 +115,7 @@ def execute_sampling_task(task: SamplingTask) -> Tuple[int, int]:
     return result.hits, result.samples
 
 
-def run_sampling_tasks(
-    executor: Optional[Executor], tasks: Sequence[SamplingTask]
-) -> List[Tuple[int, int]]:
+def run_sampling_tasks(executor: Optional[Executor], tasks: Sequence[SamplingTask]) -> List[Tuple[int, int]]:
     """Execute ``tasks`` on ``executor`` (serial when None), in task order."""
     if not tasks:
         return []

@@ -19,7 +19,7 @@ The contract the sampling stack relies on:
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

@@ -20,18 +20,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import ICPError
 from repro.intervals.box import Box
 from repro.intervals.functions import (
     apply_function,
     integer_power,
-    interval_cos,
     interval_exp,
     interval_log,
-    interval_sin,
-    interval_sqrt,
     interval_tan,
 )
 from repro.intervals.interval import EMPTY, ENTIRE, Interval
@@ -134,19 +131,34 @@ def constraint_range(constraint: ast.Constraint, box: Box) -> Interval:
 _CERTAINTY_TOLERANCE = 1e-12
 
 
-def constraint_certainly_holds(constraint: ast.Constraint, box: Box) -> bool:
+def constraint_certainly_holds(constraint: ast.Constraint, box: Box, strict_boundaries: bool = False) -> bool:
     """True when every point of ``box`` satisfies ``constraint``.
 
     Used to classify paving boxes as *inner* (tight) boxes: sampling inside an
     inner box is unnecessary because the hit ratio is exactly one.
+
+    The default mode grants the strict operators ``<`` and ``>`` the same
+    floating-point boundary slack as their non-strict counterparts: under a
+    continuous profile the boundary set has probability zero, so a box that
+    touches it is still "inner up to measure zero".  That argument breaks for
+    integer-supported profiles — an atom sitting exactly on the boundary of a
+    strict inequality carries positive mass but does *not* satisfy it — so
+    callers classifying boxes over discrete variables must pass
+    ``strict_boundaries=True``, which requires the whole enclosure to clear
+    the boundary with no slack (boundary-touching boxes stay undecided and
+    get sampled, which is unbiased).
     """
     value = constraint_range(constraint, box)
     if value.is_empty():
         return False
     slack = _CERTAINTY_TOLERANCE * max(1.0, value.magnitude())
-    if constraint.operator in ("<=", "<"):
+    if constraint.operator == "<":
+        return value.hi < 0.0 if strict_boundaries else value.hi <= slack
+    if constraint.operator == ">":
+        return value.lo > 0.0 if strict_boundaries else value.lo >= -slack
+    if constraint.operator == "<=":
         return value.hi <= slack
-    if constraint.operator in (">=", ">"):
+    if constraint.operator == ">=":
         return value.lo >= -slack
     if constraint.operator == "==":
         return value.magnitude() <= slack
@@ -320,13 +332,9 @@ def _backward_pow(node: _Node, value: Interval, domains: Dict[str, Interval]) ->
     if isinstance(exponent, ast.Constant) and float(exponent.value).is_integer():
         power = int(exponent.value)
         projected = _invert_integer_power(value, base_node.value, power)
-        return _backward(base_node, projected, domains) and _backward(
-            exponent_node, exponent_node.value, domains
-        )
+        return _backward(base_node, projected, domains) and _backward(exponent_node, exponent_node.value, domains)
     # Non-integer exponents: no pruning of the base, only of the sign domain.
-    return _backward(base_node, base_node.value, domains) and _backward(
-        exponent_node, exponent_node.value, domains
-    )
+    return _backward(base_node, base_node.value, domains) and _backward(exponent_node, exponent_node.value, domains)
 
 
 def _invert_integer_power(value: Interval, base: Interval, power: int) -> Interval:

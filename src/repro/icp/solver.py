@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -83,17 +84,30 @@ class ICPSolver:
         """The solver configuration in use."""
         return self._config
 
-    def pave(self, pc: ast.PathCondition, domain: Box) -> Paving:
+    def pave(
+        self,
+        pc: ast.PathCondition,
+        domain: Box,
+        integer_variables: Sequence[str] = (),
+    ) -> Paving:
         """Compute a paving of the solutions of ``pc`` within ``domain``.
 
         The domain must cover every free variable of ``pc`` with a bounded
         interval.  When the conjunction is empty (trivially true) the whole
         domain is returned as a single inner box.
+
+        ``integer_variables`` names dimensions whose variables only take
+        integer values (discrete usage-profile distributions): those are bisected
+        on half-integer boundaries only — a split at an integer coordinate would
+        leave the atom inside *both* closed sibling boxes, double-counting its
+        probability mass in the stratified combination — and are considered
+        unsplittable once they hold fewer than two atoms.
         """
         self._check_domain(pc, domain)
         if not pc.constraints:
             return Paving(domain, (PavedBox(domain, inner=True),))
 
+        integers = frozenset(integer_variables)
         deadline = time.monotonic() + self._config.time_budget
 
         initial = contract(pc, domain, self._config)
@@ -108,29 +122,65 @@ class ICPSolver:
         pending: List[Tuple[float, int, Box]] = []
         heapq.heappush(pending, (-initial.volume(), next(counter), initial))
 
+        # Strict-inequality boundaries carry probability mass when any
+        # variable is integer-supported, so inner certification must not use
+        # the continuous measure-zero boundary slack there.
+        strict = bool(integers)
+
         while pending:
             budget_left = self._config.max_boxes - len(finished) - len(pending)
             out_of_time = time.monotonic() >= deadline
 
             _, _, box = heapq.heappop(pending)
-            inner = self._is_inner(pc, box)
+            inner = self._is_inner(pc, box, strict)
             too_small = box.max_width() <= self._config.precision
 
             if inner or too_small or budget_left <= 0 or out_of_time:
                 finished.append(PavedBox(box, inner=inner))
                 continue
 
-            low, high = box.split()
-            for half in (low, high):
+            halves = self._split_box(box, integers)
+            if halves is None:
+                finished.append(PavedBox(box, inner=inner))
+                continue
+            for half in halves:
                 contracted = contract(pc, half, self._config)
                 if contracted is not None:
                     heapq.heappush(pending, (-contracted.volume(), next(counter), contracted))
 
         return Paving(domain, tuple(finished))
 
-    def _is_inner(self, pc: ast.PathCondition, box: Box) -> bool:
+    def _split_box(self, box: Box, integers: frozenset) -> Optional[Tuple[Box, Box]]:
+        """Bisect the widest splittable dimension (half-integer cuts on integer dims).
+
+        Returns None when no dimension can be split — every integer dimension
+        holds at most one atom and every continuous dimension is a point — in
+        which case the box is final.  Without integer dimensions this is
+        exactly :meth:`Box.split` on the widest variable.
+        """
+        if not integers:
+            return box.split()
+        names = sorted(box.variables, key=lambda name: box.interval(name).width(), reverse=True)
+        for name in names:
+            interval = box.interval(name)
+            if name in integers:
+                first_atom = math.ceil(interval.lo)
+                last_atom = math.floor(interval.hi)
+                if last_atom - first_atom < 1:
+                    continue
+                at = (first_atom + last_atom) // 2 + 0.5
+            else:
+                if interval.width() <= 0.0:
+                    continue
+                at = interval.midpoint()
+            if not interval.lo < at < interval.hi:
+                continue
+            return box.split(name, at)
+        return None
+
+    def _is_inner(self, pc: ast.PathCondition, box: Box, strict_boundaries: bool = False) -> bool:
         """True when every constraint certainly holds over the whole box."""
-        return all(constraint_certainly_holds(constraint, box) for constraint in pc.constraints)
+        return all(constraint_certainly_holds(constraint, box, strict_boundaries) for constraint in pc.constraints)
 
     def _check_domain(self, pc: ast.PathCondition, domain: Box) -> None:
         missing = sorted(pc.free_variables() - set(domain.variables))

@@ -211,11 +211,7 @@ def interval_atan2(y: Interval, x: Interval) -> Interval:
     contains_origin = x.contains(0.0) and y.contains(0.0)
     if crosses_cut or contains_origin:
         return full
-    corners = [
-        math.atan2(yy, xx)
-        for yy in (y.lo, y.hi)
-        for xx in (x.lo, x.hi)
-    ]
+    corners = [math.atan2(yy, xx) for yy in (y.lo, y.hi) for xx in (x.lo, x.hi)]
     return _pad(min(corners), max(corners)).intersect(full)
 
 

@@ -62,9 +62,7 @@ def constraint_set_statistics(constraint_set: ast.ConstraintSet) -> ConstraintSe
     )
 
 
-def extract_related_constraints(
-    pc: ast.PathCondition, variable_block: Iterable[str]
-) -> ast.PathCondition:
+def extract_related_constraints(pc: ast.PathCondition, variable_block: Iterable[str]) -> ast.PathCondition:
     """Project ``pc`` onto the conjuncts mentioning any variable in ``variable_block``.
 
     This is the paper's ``extractRelatedConstraints`` (Algorithm 2): given one

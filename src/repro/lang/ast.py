@@ -16,8 +16,8 @@ node knows its free variables and a canonical textual form.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Tuple, Union
 
 Number = Union[int, float]
 

@@ -13,7 +13,7 @@ sample hitting a domain error simply does not count as a hit.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Sequence
+from typing import Callable, Dict, Mapping
 
 import numpy as np
 

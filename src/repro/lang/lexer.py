@@ -195,9 +195,7 @@ class TokenStream:
         token = self.peek()
         if not token.matches(kind, text):
             expected = text if text is not None else kind
-            raise ParseError(
-                f"expected {expected!r} but found {token.text!r}", token.line, token.column
-            )
+            raise ParseError(f"expected {expected!r} but found {token.text!r}", token.line, token.column)
         return self.advance()
 
     def __iter__(self) -> Iterator[Token]:

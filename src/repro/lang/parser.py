@@ -77,9 +77,7 @@ class ConstraintParser:
         left = self._expression()
         token = self._stream.peek()
         if token.kind != OPERATOR or token.text not in _COMPARISONS:
-            raise ParseError(
-                f"expected a comparison operator, found {token.text!r}", token.line, token.column
-            )
+            raise ParseError(f"expected a comparison operator, found {token.text!r}", token.line, token.column)
         self._stream.advance()
         right = self._expression()
         return ast.Constraint(token.text, left, right)

@@ -317,9 +317,7 @@ class SqliteStore(EstimateStore):
 
     def _select(self, key: str) -> Optional[StoreEntry]:
         try:
-            cursor = self._connection.execute(
-                "SELECT payload FROM estimates WHERE key = ?", (key,)
-            )
+            cursor = self._connection.execute("SELECT payload FROM estimates WHERE key = ?", (key,))
         except sqlite3.OperationalError:
             # Readonly handle on a store nobody has written yet: no table.
             return None
@@ -333,9 +331,7 @@ class SqliteStore(EstimateStore):
         # feeds the merge cannot race another writer's upsert.
         self._connection.execute("BEGIN IMMEDIATE")
         try:
-            row = self._connection.execute(
-                "SELECT payload FROM estimates WHERE key = ?", (key,)
-            ).fetchone()
+            row = self._connection.execute("SELECT payload FROM estimates WHERE key = ?", (key,)).fetchone()
             existing = self._row_entry(row)
             merged = existing.merge(delta) if existing is not None else delta
             self._connection.execute(

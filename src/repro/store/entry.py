@@ -79,6 +79,9 @@ class StoreEntry:
         if self.kind not in ENTRY_KINDS:
             raise StoreError(f"unknown entry kind {self.kind!r}; expected one of {ENTRY_KINDS}")
         if self.kind == "stratified":
+            for hits, samples in self.strata:
+                if hits < 0 or samples < 0 or hits > samples:
+                    raise StoreError(f"inconsistent stratum counts: {hits} hits of {samples} samples")
             total = sum(samples for _, samples in self.strata)
             if total != self.samples:
                 object.__setattr__(self, "samples", total)
@@ -94,9 +97,7 @@ class StoreEntry:
         return StoreEntry(kind="mc", hits=hits, samples=samples, spawned=spawned)
 
     @staticmethod
-    def from_strata(
-        strata: Tuple[Tuple[int, int], ...], paving: str, spawned: int = 0
-    ) -> "StoreEntry":
+    def from_strata(strata: Tuple[Tuple[int, int], ...], paving: str, spawned: int = 0) -> "StoreEntry":
         """Entry for an ICP-stratified factor (counts in paving order)."""
         return StoreEntry(
             kind="stratified",
@@ -137,9 +138,7 @@ class StoreEntry:
         if weights is None:
             raise StoreError("a stratified entry needs per-stratum weights to form an estimate")
         if len(weights) != len(self.strata):
-            raise StoreError(
-                f"weights for {len(weights)} strata given, entry has {len(self.strata)}"
-            )
+            raise StoreError(f"weights for {len(weights)} strata given, entry has {len(self.strata)}")
         total = Estimate.zero()
         for (hits, samples), weight in zip(self.strata, weights):
             accumulator = RunningEstimate.from_counts(hits, samples)
@@ -183,10 +182,7 @@ class StoreEntry:
             )
         if len(self.strata) != len(other.strata) or self.paving != other.paving:
             return self if self.samples >= other.samples else other
-        merged = tuple(
-            (mine[0] + theirs[0], mine[1] + theirs[1])
-            for mine, theirs in zip(self.strata, other.strata)
-        )
+        merged = tuple((mine[0] + theirs[0], mine[1] + theirs[1]) for mine, theirs in zip(self.strata, other.strata))
         return replace(
             self,
             strata=merged,

@@ -34,9 +34,13 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.core.profiles import (
+    BinomialDistribution,
+    CategoricalDistribution,
     Distribution,
     PiecewiseUniformDistribution,
+    TruncatedGeometricDistribution,
     TruncatedNormalDistribution,
+    TruncatedPoissonDistribution,
     UniformDistribution,
     UsageProfile,
 )
@@ -63,14 +67,20 @@ def distribution_fingerprint(distribution: Distribution) -> str:
     if isinstance(distribution, UniformDistribution):
         return f"uniform[{distribution.low!r},{distribution.high!r}]"
     if isinstance(distribution, TruncatedNormalDistribution):
-        return (
-            f"truncnorm[{distribution.mean!r},{distribution.std!r},"
-            f"{distribution.low!r},{distribution.high!r}]"
-        )
+        return (f"truncnorm[{distribution.mean!r},{distribution.std!r}," f"{distribution.low!r},{distribution.high!r}]")
     if isinstance(distribution, PiecewiseUniformDistribution):
         edges = ",".join(repr(edge) for edge in distribution.edges)
         weights = ",".join(repr(weight) for weight in distribution.weights)
         return f"piecewise[{edges};{weights}]"
+    if isinstance(distribution, BinomialDistribution):
+        return f"binomial[{distribution.trials!r},{distribution.success!r}]"
+    if isinstance(distribution, TruncatedPoissonDistribution):
+        return f"poisson[{distribution.rate!r},{distribution.low!r},{distribution.high!r}]"
+    if isinstance(distribution, TruncatedGeometricDistribution):
+        return f"geometric[{distribution.success!r},{distribution.low!r},{distribution.high!r}]"
+    if isinstance(distribution, CategoricalDistribution):
+        weights = ",".join(repr(weight) for weight in distribution.weights)
+        return f"categorical[{distribution.low!r};{weights}]"
     if dataclasses.is_dataclass(distribution):
         fields = ",".join(
             f"{field.name}={getattr(distribution, field.name)!r}"
@@ -98,6 +108,23 @@ def stratified_method(icp: ICPConfig) -> str:
         f"strat[boxes={icp.max_boxes},prec={icp.precision!r},"
         f"iter={icp.max_contractor_iterations},tol={icp.contraction_tolerance!r},"
         f"time={icp.time_budget!r}]"
+    )
+
+
+def importance_method(icp: ICPConfig, mass_split_boxes: int) -> str:
+    """Method tag of mass-refined importance sampling under a solver configuration.
+
+    Importance-sampled counts live over a *mass-refined* paving and are
+    combined self-normalised; they must never pool with plain hit-or-miss or
+    ICP-stratified counts, so the tag is disjoint from :func:`mc_method` and
+    :func:`stratified_method` by construction.  The refinement cap is part of
+    the tag because it determines the deterministic refined paving (the
+    profile, the other refinement input, is already part of the key).
+    """
+    return (
+        f"imp[boxes={icp.max_boxes},prec={icp.precision!r},"
+        f"iter={icp.max_contractor_iterations},tol={icp.contraction_tolerance!r},"
+        f"time={icp.time_budget!r},splits={mass_split_boxes}]"
     )
 
 
@@ -144,9 +171,7 @@ class StoreContext:
         """
         best: Optional[Tuple[str, str, Tuple[str, ...]]] = None
         for order, text in alpha_orders(factor):
-            fingerprint = ";".join(
-                distribution_fingerprint(self.profile.distribution(name)) for name in order
-            )
+            fingerprint = ";".join(distribution_fingerprint(self.profile.distribution(name)) for name in order)
             candidate = (text, fingerprint, order)
             if best is None or candidate[:2] < best[:2]:
                 best = candidate

@@ -1,6 +1,12 @@
 """Benchmark subjects used to reproduce the paper's evaluation tables."""
 
-from repro.subjects import aerospace, programs, solids, volcomp_suite
+from repro.subjects import aerospace, discrete, programs, solids, volcomp_suite
+from repro.subjects.discrete import (
+    DiscreteSubject,
+    all_discrete_subjects,
+    discrete_subject_by_name,
+    exact_probability,
+)
 from repro.subjects.solids import Solid, VolumeEstimate, all_solids, estimate_volume, solid_by_name
 from repro.subjects.volcomp_suite import (
     VolCompAssertion,
@@ -14,6 +20,11 @@ __all__ = [
     "volcomp_suite",
     "aerospace",
     "programs",
+    "discrete",
+    "DiscreteSubject",
+    "all_discrete_subjects",
+    "discrete_subject_by_name",
+    "exact_probability",
     "Solid",
     "VolumeEstimate",
     "all_solids",

@@ -52,9 +52,7 @@ class AerospaceSubject:
         return len(self.constraint_set.path_conditions)
 
 
-def _decision_tree_paths(
-    guards: Sequence[ast.Constraint], fraction: float
-) -> Tuple[ast.ConstraintSet, int]:
+def _decision_tree_paths(guards: Sequence[ast.Constraint], fraction: float) -> Tuple[ast.ConstraintSet, int]:
     """Disjoint path conditions from a balanced decision tree over ``guards``.
 
     Every leaf corresponds to one truth assignment of the guard list; the leaf
@@ -70,9 +68,7 @@ def _decision_tree_paths(
     for index, decisions in enumerate(itertools.product((True, False), repeat=depth)):
         if index >= selected_count:
             break
-        conjuncts = [
-            guard if taken else guard.negate() for guard, taken in zip(guards, decisions)
-        ]
+        conjuncts = [guard if taken else guard.negate() for guard, taken in zip(guards, decisions)]
         path_conditions.append(ast.PathCondition.of(conjuncts, label=f"path{index}"))
     return ast.ConstraintSet.of(path_conditions), total
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Optional, Tuple
+from typing import Tuple
 
 from repro.core.profiles import UsageProfile
 from repro.lang import ast
@@ -56,10 +56,7 @@ class VolCompSubject:
 
     def program_source(self, assertion: VolCompAssertion) -> str:
         """Base program extended with the assertion's observe block."""
-        return (
-            self.base_source
-            + f"\nif ({assertion.condition}) {{\n    observe({TARGET_EVENT});\n}}\n"
-        )
+        return (self.base_source + f"\nif ({assertion.condition}) {{\n    observe({TARGET_EVENT});\n}}\n")
 
     def program(self, assertion: VolCompAssertion):
         """Parsed program for one assertion."""

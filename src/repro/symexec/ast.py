@@ -20,8 +20,8 @@ branch), mirroring how SPF builds path conditions from bytecode branches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.lang import ast as expr_ast
 

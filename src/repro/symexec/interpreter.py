@@ -10,7 +10,7 @@ the path conditions the symbolic executor reports for that event.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Sequence
 
 from repro.errors import SymbolicExecutionError
 from repro.lang.evaluator import evaluate, holds
@@ -99,9 +99,7 @@ class ConcreteInterpreter:
                 condition.right, values
             )
         if isinstance(condition, prog_ast.BooleanOr):
-            return self._evaluate_condition(condition.left, values) or self._evaluate_condition(
-                condition.right, values
-            )
+            return self._evaluate_condition(condition.left, values) or self._evaluate_condition(condition.right, values)
         if isinstance(condition, prog_ast.BooleanNot):
             return not self._evaluate_condition(condition.operand, values)
         raise SymbolicExecutionError(f"unknown condition type {type(condition).__name__}")

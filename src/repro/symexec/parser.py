@@ -22,7 +22,7 @@ function accepted in path conditions is accepted in programs too.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.errors import ParseError
 from repro.lang import ast as expr_ast
@@ -170,7 +170,6 @@ class ProgramParser:
         # A parenthesis can open either a nested condition or an arithmetic
         # sub-expression; try the condition first and fall back on failure.
         if self._stream.check(PUNCT, "("):
-            saved = self._stream
             import copy
 
             snapshot = copy.deepcopy(self._stream)
@@ -187,9 +186,7 @@ class ProgramParser:
         left = self._expression()
         token = self._stream.peek()
         if token.kind != OPERATOR or token.text not in _COMPARISONS:
-            raise ParseError(
-                f"expected a comparison operator, found {token.text!r}", token.line, token.column
-            )
+            raise ParseError(f"expected a comparison operator, found {token.text!r}", token.line, token.column)
         self._stream.advance()
         right = self._expression()
         return prog_ast.Comparison(expr_ast.Constraint(token.text, left, right))

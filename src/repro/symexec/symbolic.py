@@ -15,7 +15,7 @@ total probability can be quantified as a confidence measure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SymbolicExecutionError
@@ -63,16 +63,12 @@ class SymbolicExecutionResult:
 
     def constraint_set_for(self, event: str) -> expr_ast.ConstraintSet:
         """The set ``PC^T``: conditions of complete paths observing ``event``."""
-        selected = [
-            path.condition for path in self.paths if path.observed(event) and not path.hit_bound
-        ]
+        selected = [path.condition for path in self.paths if path.observed(event) and not path.hit_bound]
         return expr_ast.ConstraintSet.of(selected, name=event)
 
     def constraint_set_against(self, event: str) -> expr_ast.ConstraintSet:
         """The set ``PC^F``: conditions of complete paths *not* observing ``event``."""
-        selected = [
-            path.condition for path in self.paths if not path.observed(event) and not path.hit_bound
-        ]
+        selected = [path.condition for path in self.paths if not path.observed(event) and not path.hit_bound]
         return expr_ast.ConstraintSet.of(selected, name=f"not:{event}")
 
     def bounded_constraint_set(self) -> expr_ast.ConstraintSet:
@@ -255,9 +251,7 @@ class SymbolicExecutor:
             return outcomes
         raise SymbolicExecutionError(f"unknown condition type {type(condition).__name__}")
 
-    def _branch_comparison(
-        self, constraint: expr_ast.Constraint, state: _State
-    ) -> List[Tuple[_State, bool]]:
+    def _branch_comparison(self, constraint: expr_ast.Constraint, state: _State) -> List[Tuple[_State, bool]]:
         concrete = simplify_constraint(substitute_constraint(constraint, state.environment))
         outcomes: List[Tuple[_State, bool]] = []
         for truth, branch_constraint in ((True, concrete), (False, concrete.negate())):

@@ -11,7 +11,6 @@ Covers the tentpole invariants of the iterative refactor:
   event and bounded-path analyses.
 """
 
-import math
 
 import numpy as np
 import pytest
@@ -76,13 +75,7 @@ class TestRunningEstimate:
         assert estimate.mean == 0.5
         assert estimate.variance == 0.25
 
-    @given(
-        st.lists(
-            st.tuples(st.integers(min_value=1, max_value=500), st.floats(0.0, 1.0)),
-            min_size=1,
-            max_size=8,
-        )
-    )
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=500), st.floats(0.0, 1.0)), min_size=1, max_size=8))
     def test_batched_absorption_matches_totals(self, batches):
         accumulator = RunningEstimate()
         total_hits = 0
@@ -122,9 +115,7 @@ class TestResumableSampling:
         pc = parse_path_condition("x * x + y * y <= 1")
         rng_a = np.random.default_rng(3)
         rng_b = np.random.default_rng(3)
-        merged = hit_or_miss(pc, square_profile, 500, rng_a).merge(
-            hit_or_miss(pc, square_profile, 700, rng_a)
-        )
+        merged = hit_or_miss(pc, square_profile, 500, rng_a).merge(hit_or_miss(pc, square_profile, 700, rng_a))
         resumed = hit_or_miss(
             pc,
             square_profile,
@@ -304,12 +295,7 @@ class TestAdaptiveLoop:
         cs = parse_constraint_set("x * x + y * y <= 1 || x > 0.5 && sin(y) > 0.3")
         config = QCoralConfig(samples_per_query=5000, target_std=1e-12, seed=22, allocation="neyman")
         result = quantify(cs, square_profile, config)
-        sampled_factors = sum(
-            1
-            for report in result.path_reports
-            for factor in report.factors
-            if factor.samples > 0
-        )
+        sampled_factors = sum(1 for report in result.path_reports for factor in report.factors if factor.samples > 0)
         assert not result.met_target
         assert result.total_samples <= 5000 * sampled_factors
         assert result.rounds == config.max_rounds

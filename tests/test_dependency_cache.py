@@ -45,9 +45,7 @@ class TestUnionFind:
 class TestDependencyPartition:
     def test_paper_example(self):
         """Section 4.4: altitude is independent of headFlap/tailFlap."""
-        cs = parse_constraint_set(
-            "altitude > 9000 || altitude <= 9000 && sin(headFlap * tailFlap) > 0.25"
-        )
+        cs = parse_constraint_set("altitude > 9000 || altitude <= 9000 && sin(headFlap * tailFlap) > 0.25")
         partition = partition_for_constraint_set(cs)
         blocks = set(partition.blocks)
         assert frozenset({"altitude"}) in blocks
@@ -71,9 +69,7 @@ class TestDependencyPartition:
         assert len(partition) == 3
 
     def test_extra_variables_become_singletons(self):
-        partition = compute_dependency_partition(
-            [parse_path_condition("x <= 1")], extra_variables=["unused"]
-        )
+        partition = compute_dependency_partition([parse_path_condition("x <= 1")], extra_variables=["unused"])
         assert frozenset({"unused"}) in set(partition.blocks)
 
     def test_block_of_unknown_variable_is_singleton(self):

@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) of the distribution measure/sampling contract.
+
+Every distribution the profile layer ships — continuous and discrete — must
+satisfy two invariants the whole stratified/importance stack rests on:
+
+* **partition additivity**: the measures of the cells of any partition of the
+  support sum to exactly 1 (for discrete families the cells meet on
+  half-integer boundaries, the same boundaries the ICP layer and the mass
+  refiner use, so no atom is counted twice);
+* **conditioned containment**: samples drawn conditioned on an interval land
+  inside that interval (and, for discrete families, on integer atoms).
+
+These are exactly the properties that make ``Σ w_i p̂_i`` an unbiased
+stratified estimator: weights partition the domain mass, and per-stratum
+draws stay in their stratum.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profiles import (
+    BinomialDistribution,
+    CategoricalDistribution,
+    PiecewiseUniformDistribution,
+    TruncatedGeometricDistribution,
+    TruncatedNormalDistribution,
+    TruncatedPoissonDistribution,
+    UniformDistribution,
+)
+from repro.intervals import Interval
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+probabilities = st.floats(min_value=0.01, max_value=0.99)
+positive_rates = st.floats(min_value=0.1, max_value=20.0)
+
+
+@st.composite
+def discrete_distributions(draw):
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        return BinomialDistribution(draw(st.integers(1, 40)), draw(probabilities))
+    if kind == 1:
+        low = draw(st.integers(0, 5))
+        high = low + draw(st.integers(0, 40))
+        return TruncatedPoissonDistribution(draw(positive_rates), low, high)
+    if kind == 2:
+        low = draw(st.integers(0, 5))
+        high = low + draw(st.integers(0, 40))
+        return TruncatedGeometricDistribution(draw(probabilities), low, high)
+    low = draw(st.integers(-10, 10))
+    weights = draw(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=12))
+    if sum(weights) <= 0.0:
+        weights = [1.0] * len(weights)
+    return CategoricalDistribution(low, tuple(weights))
+
+
+@st.composite
+def continuous_distributions(draw):
+    kind = draw(st.integers(min_value=0, max_value=2))
+    low = draw(st.floats(-50.0, 50.0, allow_nan=False))
+    width = draw(st.floats(0.1, 100.0, allow_nan=False))
+    if kind == 0:
+        return UniformDistribution(low, low + width)
+    if kind == 1:
+        mean = draw(st.floats(-50.0, 50.0, allow_nan=False))
+        std = draw(st.floats(0.1, 20.0, allow_nan=False))
+        return TruncatedNormalDistribution(mean, std, low, low + width)
+    bins = draw(st.integers(1, 6))
+    edges = [low]
+    for _ in range(bins):
+        edges.append(edges[-1] + draw(st.floats(0.1, 20.0, allow_nan=False)))
+    weights = draw(st.lists(st.floats(0.1, 10.0), min_size=bins, max_size=bins))
+    return PiecewiseUniformDistribution(tuple(edges), tuple(weights))
+
+
+@st.composite
+def continuous_partitions(draw):
+    """A continuous distribution plus interior cut points of its support."""
+    distribution = draw(continuous_distributions())
+    support = distribution.support
+    fractions = draw(st.lists(st.floats(0.01, 0.99), min_size=0, max_size=5))
+    cuts = sorted(support.lo + f * support.width() for f in fractions)
+    return distribution, [support.lo] + cuts + [support.hi]
+
+
+@st.composite
+def discrete_partitions(draw):
+    """A discrete distribution plus half-integer cut points of its support."""
+    distribution = draw(discrete_distributions())
+    support = distribution.support
+    atoms = int(support.hi - support.lo)
+    offsets = draw(st.lists(st.integers(0, max(0, atoms - 1)), min_size=0, max_size=5))
+    cuts = sorted({support.lo + offset + 0.5 for offset in offsets})
+    return distribution, [support.lo - 0.5] + cuts + [support.hi + 0.5]
+
+
+# --------------------------------------------------------------------------- #
+# Partition additivity
+# --------------------------------------------------------------------------- #
+class TestPartitionAdditivity:
+    @settings(max_examples=80)
+    @given(continuous_partitions())
+    def test_continuous_partition_sums_to_one(self, case):
+        distribution, cuts = case
+        total = sum(distribution.measure(Interval.make(a, b)) for a, b in zip(cuts, cuts[1:]))
+        assert math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9)
+
+    @settings(max_examples=80)
+    @given(discrete_partitions())
+    def test_discrete_partition_sums_to_one(self, case):
+        distribution, cuts = case
+        total = sum(distribution.measure(Interval.make(a, b)) for a, b in zip(cuts, cuts[1:]))
+        assert math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9)
+
+    @settings(max_examples=80)
+    @given(discrete_distributions())
+    def test_atom_masses_sum_to_one(self, distribution):
+        support = distribution.support
+        total = sum(
+            distribution.measure(Interval.point(float(atom)))
+            for atom in range(int(support.lo), int(support.hi) + 1)
+        )
+        assert math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9)
+
+    @settings(max_examples=60)
+    @given(discrete_distributions())
+    def test_mass_median_split_partitions_mass(self, distribution):
+        at = distribution.split_point()
+        if at is None:
+            return
+        support = distribution.support
+        left = distribution.measure(Interval.make(support.lo, at))
+        right = distribution.measure(Interval.make(at, support.hi))
+        assert math.isclose(left + right, 1.0, rel_tol=1e-9, abs_tol=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Conditioned sampling containment
+# --------------------------------------------------------------------------- #
+class TestConditionedSampling:
+    @settings(max_examples=50, deadline=None)
+    @given(continuous_distributions(), st.floats(0.0, 1.0), st.floats(0.05, 1.0), st.integers(0, 2**31))
+    def test_continuous_samples_stay_inside(self, distribution, start, width, seed):
+        support = distribution.support
+        lo = support.lo + start * (1.0 - width) * support.width()
+        hi = lo + width * support.width()
+        window = Interval.make(lo, min(hi, support.hi))
+        samples = distribution.sample(np.random.default_rng(seed), 200, window)
+        assert samples.min() >= window.lo - 1e-9
+        assert samples.max() <= window.hi + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(discrete_distributions(), st.floats(0.0, 1.0), st.floats(0.05, 1.0), st.integers(0, 2**31))
+    def test_discrete_samples_stay_on_atoms_inside(self, distribution, start, width, seed):
+        support = distribution.support
+        lo = support.lo + start * (1.0 - width) * support.width()
+        hi = min(lo + max(1.0, width * support.width()), support.hi)
+        window = Interval.make(math.floor(lo), math.ceil(hi))
+        samples = distribution.sample(np.random.default_rng(seed), 200, window)
+        assert np.all(samples == np.floor(samples))
+        assert samples.min() >= window.lo
+        assert samples.max() <= window.hi
+
+    @settings(max_examples=50, deadline=None)
+    @given(discrete_distributions(), st.integers(0, 2**31))
+    def test_unconditioned_samples_cover_only_the_support(self, distribution, seed):
+        samples = distribution.sample(np.random.default_rng(seed), 200)
+        support = distribution.support
+        assert samples.min() >= support.lo
+        assert samples.max() <= support.hi
+        assert np.all(samples == np.floor(samples))

@@ -7,7 +7,6 @@ import pytest
 from repro.errors import ConfigurationError, DomainError
 from repro.icp import (
     ICPConfig,
-    ICPSolver,
     constraint_certainly_fails,
     constraint_certainly_holds,
     contract,

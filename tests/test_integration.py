@@ -9,7 +9,7 @@ from repro.baselines.numint import NumIntConfig, integrate_indicator
 from repro.baselines.plain_mc import plain_monte_carlo
 from repro.baselines.volcomp import VolCompConfig, bound_probability
 from repro.core.profiles import TruncatedNormalDistribution, UniformDistribution, UsageProfile
-from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, quantify
+from repro.core.qcoral import QCoralConfig, quantify
 from repro.lang.evaluator import holds_any
 from repro.lang.parser import parse_constraint_set
 from repro.subjects import programs
@@ -89,12 +89,7 @@ class TestNonUniformProfiles:
         assert skewed_result.mean > uniform_result.mean + 0.2
 
     def test_mixed_profile_composition(self):
-        profile = UsageProfile(
-            {
-                "x": UniformDistribution(0, 1),
-                "y": TruncatedNormalDistribution(0.5, 0.2, 0.0, 1.0),
-            }
-        )
+        profile = UsageProfile({"x": UniformDistribution(0, 1), "y": TruncatedNormalDistribution(0.5, 0.2, 0.0, 1.0)})
         cs = parse_constraint_set("x <= 0.5 && y <= 0.5")
         result = quantify(cs, profile, QCoralConfig.strat_partcache(30_000, seed=9))
         # Independence: P = 0.5 * P(y <= 0.5) = 0.5 * 0.5 (the normal is symmetric).
@@ -113,9 +108,7 @@ class TestFeatureAblationTrends:
 
     def test_partcache_reduces_sampling_work_on_shared_factors(self):
         profile = UsageProfile.uniform({"x": (-1, 1), "y": (-1, 1), "z": (-1, 1)})
-        text = " || ".join(
-            f"sin(x * y) > 0.25 && z > {threshold}" for threshold in (-0.5, 0.0, 0.5)
-        )
+        text = " || ".join(f"sin(x * y) > 0.25 && z > {threshold}" for threshold in (-0.5, 0.0, 0.5))
         cs = parse_constraint_set(text)
         no_cache = quantify(cs, profile, QCoralConfig.strat(3000, seed=11))
         cached = quantify(cs, profile, QCoralConfig.strat_partcache(3000, seed=11))

@@ -219,9 +219,7 @@ class TestSubstitution:
         assert evaluate(result, {"x": 0.0}) == pytest.approx(math.sin(1.0))
 
     def test_substitute_constraint(self):
-        constraint = substitute_constraint(
-            parse_constraint("total >= 5"), {"total": parse_expression("x + y")}
-        )
+        constraint = substitute_constraint(parse_constraint("total >= 5"), {"total": parse_expression("x + y")})
         assert constraint.free_variables() == {"x", "y"}
 
 

@@ -20,7 +20,6 @@ from repro.core.stratified import StratifiedSampler
 from repro.errors import ConfigurationError
 from repro.exec import (
     EXECUTOR_KINDS,
-    ProcessPoolExecutor,
     SamplingTask,
     SeedStream,
     SerialExecutor,
@@ -156,9 +155,7 @@ class TestShardedSampling:
         profile = UsageProfile.uniform({"x": (-1, 1), "y": (-1, 1)})
         reference = hit_or_miss_sharded(pc, profile, 3_000, SeedStream(3), chunk_size=CHUNK)
         with make_executor(kind, workers=workers) as backend:
-            result = hit_or_miss_sharded(
-                pc, profile, 3_000, SeedStream(3), executor=backend, chunk_size=CHUNK
-            )
+            result = hit_or_miss_sharded(pc, profile, 3_000, SeedStream(3), executor=backend, chunk_size=CHUNK)
         assert result.hits == reference.hits
         assert result.estimate == reference.estimate
 
@@ -221,9 +218,7 @@ class TestAnalyzerDeterminism:
         [("serial", 1), ("thread", 1), ("thread", 2), ("thread", 4), ("process", 1), ("process", 2), ("process", 4)],
     )
     def test_backend_and_worker_count_invariance(self, reference, kind, workers):
-        config = QCoralConfig(
-            samples_per_query=3_000, seed=17, executor=kind, workers=workers, chunk_size=CHUNK
-        )
+        config = QCoralConfig(samples_per_query=3_000, seed=17, executor=kind, workers=workers, chunk_size=CHUNK)
         result = quantify(parse_constraint_set(CONSTRAINTS), _profile(), config)
         assert result.mean == reference.mean
         assert result.variance == reference.variance
@@ -232,9 +227,7 @@ class TestAnalyzerDeterminism:
     def test_adaptive_neyman_invariance(self):
         """The variance-driven loop re-allocates identically on all backends."""
         def run(kind, workers):
-            config = replace(
-                QCoralConfig.adaptive(4_000, seed=5).with_executor(kind, workers), chunk_size=CHUNK
-            )
+            config = replace(QCoralConfig.adaptive(4_000, seed=5).with_executor(kind, workers), chunk_size=CHUNK)
             return quantify(parse_constraint_set(CONSTRAINTS), _profile(), config)
 
         serial = run("serial", None)

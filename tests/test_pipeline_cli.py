@@ -28,9 +28,7 @@ class TestPipeline:
             analyze_program(programs.SAFETY_MONITOR, "noSuchEvent", config=QCoralConfig.plain(100))
 
     def test_symbolic_execution_is_cached(self):
-        pipeline = ProbabilisticAnalysisPipeline(
-            programs.SAFETY_MONITOR, config=QCoralConfig.plain(500, seed=2)
-        )
+        pipeline = ProbabilisticAnalysisPipeline(programs.SAFETY_MONITOR, config=QCoralConfig.plain(500, seed=2))
         first = pipeline.symbolic_execution()
         second = pipeline.symbolic_execution()
         assert first is second
@@ -38,9 +36,7 @@ class TestPipeline:
     def test_custom_profile_overrides_bounds(self):
         from repro.core.profiles import UsageProfile
 
-        profile = UsageProfile.uniform(
-            {"altitude": (9500, 20000), "headFlap": (-10, 10), "tailFlap": (-10, 10)}
-        )
+        profile = UsageProfile.uniform({"altitude": (9500, 20000), "headFlap": (-10, 10), "tailFlap": (-10, 10)})
         result = analyze_program(
             programs.SAFETY_MONITOR,
             programs.SAFETY_MONITOR_EVENT,
@@ -57,9 +53,7 @@ class TestPipeline:
         while (total <= 3) { total = total + x; }
         observe(done);
         """
-        pipeline = ProbabilisticAnalysisPipeline(
-            source, config=QCoralConfig.strat_partcache(1000, seed=4), max_depth=8
-        )
+        pipeline = ProbabilisticAnalysisPipeline(source, config=QCoralConfig.strat_partcache(1000, seed=4), max_depth=8)
         result = pipeline.analyze("done")
         assert result.bounded_probability.mean > 0.0
         assert "bound" in result.confidence_note
@@ -88,9 +82,7 @@ class TestRunner:
         # reproducible for a fixed base seed.
         assert len(set(seen)) == 5
         assert seen == trial_seeds(5, base_seed=0)
-        assert outcomes.mean_estimate == pytest.approx(
-            statistics.fmean(0.5 + (seed % 7) * 0.01 for seed in seen)
-        )
+        assert outcomes.mean_estimate == pytest.approx(statistics.fmean(0.5 + (seed % 7) * 0.01 for seed in seen))
         assert outcomes.mean_reported_std == pytest.approx(0.1)
 
     def test_single_run_has_zero_empirical_std(self):

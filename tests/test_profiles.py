@@ -156,14 +156,7 @@ class TestUsageProfile:
             profile.check_covers({"x", "y"})
 
     def test_mixed_distributions(self, rng):
-        profile = UsageProfile(
-            {
-                "u": UniformDistribution(0, 1),
-                "n": TruncatedNormalDistribution(0.5, 0.2, 0.0, 1.0),
-            }
-        )
+        profile = UsageProfile({"u": UniformDistribution(0, 1), "n": TruncatedNormalDistribution(0.5, 0.2, 0.0, 1.0)})
         batch = profile.sample(rng, 300)
         assert set(batch) == {"u", "n"}
-        assert profile.weight(Box.from_bounds({"u": (0, 0.5), "n": (0, 1)})) == pytest.approx(
-            0.5, abs=1e-6
-        )
+        assert profile.weight(Box.from_bounds({"u": (0, 0.5), "n": (0, 1)})) == pytest.approx(0.5, abs=1e-6)

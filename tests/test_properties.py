@@ -215,9 +215,7 @@ class TestQuantificationProperties:
         x_high = x_low + x_width
         y_high = y_low + y_width
         profile = UsageProfile.uniform({"x": (-1, 1), "y": (-1, 1)})
-        cs = parse_constraint_set(
-            f"x >= {x_low} && x <= {x_high} && y >= {y_low} && y <= {y_high}"
-        )
+        cs = parse_constraint_set(f"x >= {x_low} && x <= {x_high} && y >= {y_low} && y <= {y_high}")
         result = quantify(cs, profile, QCoralConfig.strat_partcache(200, seed=1))
         exact = (x_width / 2.0) * (y_width / 2.0)
         assert result.mean == pytest.approx(exact, abs=1e-6)

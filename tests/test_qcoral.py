@@ -1,6 +1,5 @@
 """Unit and integration tests for the qCORAL analyzer (Algorithms 1 and 2)."""
 
-import math
 
 import pytest
 
@@ -61,12 +60,7 @@ class TestAnalyzer:
         analyzer = QCoralAnalyzer(square_profile, QCoralConfig.strat_partcache(2000, seed=4))
         result = analyzer.analyze(cs)
         assert result.cache_statistics.hits >= 1
-        cached_factors = [
-            factor
-            for report in result.path_reports
-            for factor in report.factors
-            if factor.from_cache
-        ]
+        cached_factors = [factor for report in result.path_reports for factor in report.factors if factor.from_cache]
         assert cached_factors
 
     def test_no_partcache_treats_pc_as_single_factor(self, square_profile):
@@ -127,12 +121,8 @@ class TestAnalyzer:
 class TestPaperExamples:
     def test_section_44_safety_monitor(self):
         """The paper's running example: P(callSupervisor) ≈ 0.737848."""
-        profile = UsageProfile.uniform(
-            {"altitude": (0, 20000), "headFlap": (-10, 10), "tailFlap": (-10, 10)}
-        )
-        cs = parse_constraint_set(
-            "altitude > 9000 || altitude <= 9000 && sin(headFlap * tailFlap) > 0.25"
-        )
+        profile = UsageProfile.uniform({"altitude": (0, 20000), "headFlap": (-10, 10), "tailFlap": (-10, 10)})
+        cs = parse_constraint_set("altitude > 9000 || altitude <= 9000 && sin(headFlap * tailFlap) > 0.25")
         result = quantify(cs, profile, QCoralConfig.strat_partcache(30_000, seed=12))
         assert result.mean == pytest.approx(0.737848, abs=0.01)
         # altitude-only PCs are resolved exactly by ICP, so the variance comes

@@ -28,9 +28,7 @@ class TestHitOrMiss:
         pc = parse_path_condition("x <= 0 - y && y <= x")
         result = hit_or_miss(pc, square_profile, 20_000, rng)
         assert result.estimate.mean == pytest.approx(0.25, abs=0.02)
-        assert result.estimate.variance == pytest.approx(
-            result.estimate.mean * (1 - result.estimate.mean) / 20_000
-        )
+        assert result.estimate.variance == pytest.approx(result.estimate.mean * (1 - result.estimate.mean) / 20_000)
 
     def test_impossible_constraint(self, rng, square_profile):
         result = hit_or_miss(parse_path_condition("x > 5"), square_profile, 1000, rng)
@@ -129,7 +127,5 @@ class TestStratifiedSampling:
         """
         profile = UsageProfile.uniform({"x": (-1, 1), "y": (-1, 1)})
         pc = parse_path_condition("x <= 0 - y && y <= x")
-        result = stratified_sampling(
-            pc, profile, 10_000, np.random.default_rng(7), icp_config=ICPConfig(max_boxes=4)
-        )
+        result = stratified_sampling(pc, profile, 10_000, np.random.default_rng(7), icp_config=ICPConfig(max_boxes=4))
         assert result.estimate.mean == pytest.approx(0.25, abs=0.03)

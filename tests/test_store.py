@@ -283,9 +283,7 @@ class TestBackends:
         # Create the schema before the workers race on it.
         SqliteStore(path).close()
         context = multiprocessing.get_context("spawn")
-        workers = [
-            context.Process(target=_process_writer, args=(path, worker)) for worker in range(3)
-        ]
+        workers = [context.Process(target=_process_writer, args=(path, worker)) for worker in range(3)]
         for worker in workers:
             worker.start()
         for worker in workers:
@@ -357,9 +355,7 @@ class TestAnalyzerReuse:
         store = open_store(str(tmp_path / "store.db"))
         constraint_set = parse_constraint_set(CIRCLE)
         strat = QCoralConfig.strat_partcache(2000, seed=7)
-        plain_cached = QCoralConfig(
-            samples_per_query=2000, stratified=False, partition_and_cache=True, seed=7
-        )
+        plain_cached = QCoralConfig(samples_per_query=2000, stratified=False, partition_and_cache=True, seed=7)
         with QCoralAnalyzer(PROFILE_2D, strat, store=store) as first:
             first.analyze(constraint_set)
         with QCoralAnalyzer(PROFILE_2D, plain_cached, store=store) as second:
@@ -477,9 +473,7 @@ class TestConcurrentAnalyzers:
         path = str(tmp_path / "store.db")
         SqliteStore(path).close()  # create the schema before workers race
         with make_executor(executor_kind, 2) as pool:
-            aggregated = repeat_quantification(
-                _store_trial_factory(path), runs=4, base_seed=77, executor=pool
-            )
+            aggregated = repeat_quantification(_store_trial_factory(path), runs=4, base_seed=77, executor=pool)
         store = SqliteStore(path)
         (key,) = store.keys()
         entry = store.get(key)
@@ -501,9 +495,7 @@ class _StoreTrial:
         self.path = path
 
     def __call__(self, seed: int):
-        config = QCoralConfig(
-            samples_per_query=1500, stratified=False, seed=seed, store_path=self.path
-        )
+        config = QCoralConfig(samples_per_query=1500, stratified=False, seed=seed, store_path=self.path)
         with QCoralAnalyzer(PROFILE_2D, config) as analyzer:
             return analyzer.analyze(parse_constraint_set(CIRCLE))
 
@@ -532,9 +524,7 @@ class TestPipelineReuse:
         config = QCoralConfig.strat_partcache(3000, seed=2).with_store(str(tmp_path / "p.db"))
         with ProbabilisticAnalysisPipeline(programs.SAFETY_MONITOR, config=config) as pipeline:
             pipeline.analyze(programs.SAFETY_MONITOR_EVENT)
-        mutated = programs.SAFETY_MONITOR.replace(
-            "sin(headFlap * tailFlap) > 0.25", "sin(headFlap * tailFlap) > 0.3"
-        )
+        mutated = programs.SAFETY_MONITOR.replace("sin(headFlap * tailFlap) > 0.25", "sin(headFlap * tailFlap) > 0.3")
         with ProbabilisticAnalysisPipeline(mutated, config=config) as pipeline:
             result = pipeline.analyze(programs.SAFETY_MONITOR_EVENT)
         stats = result.cache_statistics

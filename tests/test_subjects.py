@@ -131,9 +131,7 @@ class TestAerospace:
         bounds = subject.bounds
         for _ in range(100):
             point = {name: float(rng.uniform(lo, hi)) for name, (lo, hi) in bounds.items()}
-            matches = sum(
-                1 for pc in subject.constraint_set.path_conditions if holds_path_condition(pc, point)
-            )
+            matches = sum(1 for pc in subject.constraint_set.path_conditions if holds_path_condition(pc, point))
             assert matches <= 1
 
     def test_generation_is_deterministic(self):
