@@ -1,15 +1,16 @@
 """Quickstart: quantify the solution space of a constraint set with qCORAL.
 
-This walks through the three ways of using the library, from lowest to highest
-level:
+This walks through the public Session API, from lowest to highest level:
 
-1. quantify a constraint set written directly in the constraint language;
+1. quantify a constraint set written directly in the constraint language,
+   through the fluent query builder;
 2. compare the qCORAL feature configurations evaluated in the paper (Table 4);
 3. run the full pipeline of Figure 1 on a small program: symbolic execution
    followed by probabilistic analysis of a target event;
-4. fan the sampling out over the parallel executor backends and check that
+4. stream an adaptive run round by round (with early stop in reach);
+5. fan the sampling out over the parallel executor backends and check that
    the estimate is bit-identical on every backend for one master seed;
-5. persist per-factor estimates in a store and re-run warm: the second run
+6. persist per-factor estimates in a store and re-run warm: the second run
    reuses every stored factor and draws zero samples.
 
 Run with:  python examples/quickstart.py
@@ -20,27 +21,25 @@ from __future__ import annotations
 import os
 import tempfile
 
-from repro import QCoralConfig, UsageProfile, parse_constraint_set, quantify
-from repro.analysis.pipeline import analyze_program
-from repro.analysis.results import reuse_summary
-from repro.subjects import programs
+from repro import QCoralConfig, Session
+
+BOUNDS = {"x": (-1.0, 1.0), "y": (-1.0, 1.0)}
 
 
 def quantify_a_constraint_set() -> None:
     """Estimate P(x <= -y and y <= x) for x, y uniform over [-1, 1] (exact: 0.25)."""
     print("=" * 72)
-    print("1. Quantifying a constraint set")
+    print("1. Quantifying a constraint set (the fluent query builder)")
     print("=" * 72)
 
-    profile = UsageProfile.uniform({"x": (-1, 1), "y": (-1, 1)})
-    constraint_set = parse_constraint_set("x <= 0 - y && y <= x")
-
-    result = quantify(constraint_set, profile, QCoralConfig.strat_partcache(30_000, seed=1))
-    lower, upper = result.estimate.chebyshev_interval(0.95)
-    print(f"estimate:            {result.mean:.6f}   (exact value: 0.25)")
-    print(f"standard deviation:  {result.std:.3e}")
+    with Session() as session:
+        query = session.quantify("x <= 0 - y && y <= x", BOUNDS)
+        report = query.with_budget(30_000).seed(1).run()
+    lower, upper = report.estimate.chebyshev_interval(0.95)
+    print(f"estimate:            {report.mean:.6f}   (exact value: 0.25)")
+    print(f"standard deviation:  {report.std:.3e}")
     print(f"95% Chebyshev bound: [{lower:.4f}, {upper:.4f}]")
-    print(f"analysis time:       {result.analysis_time:.2f}s")
+    print(f"analysis time:       {report.analysis_time:.2f}s")
     print()
 
 
@@ -50,20 +49,21 @@ def compare_feature_configurations() -> None:
     print("2. Feature configurations (Monte Carlo vs STRAT vs STRAT+PARTCACHE)")
     print("=" * 72)
 
-    profile = UsageProfile.uniform({"x": (-3, 3), "y": (-3, 3), "z": (0, 10)})
-    constraint_set = parse_constraint_set("x * x + y * y <= 4 && z <= 2 || x * x + y * y <= 4 && z > 2 && z <= 5")
+    constraints = "x * x + y * y <= 4 && z <= 2 || x * x + y * y <= 4 && z > 2 && z <= 5"
+    profile = {"x": (-3.0, 3.0), "y": (-3.0, 3.0), "z": (0.0, 10.0)}
 
-    for config in (
-        QCoralConfig.plain(10_000, seed=7),
-        QCoralConfig.strat(10_000, seed=7),
-        QCoralConfig.strat_partcache(10_000, seed=7),
-    ):
-        result = quantify(constraint_set, profile, config)
-        print(
-            f"{config.feature_label():28s} estimate={result.mean:.6f} "
-            f"std={result.std:.3e} samples={result.total_samples:6d} "
-            f"time={result.analysis_time:.2f}s"
-        )
+    with Session() as session:
+        for config in (
+            QCoralConfig.plain(10_000, seed=7),
+            QCoralConfig.strat(10_000, seed=7),
+            QCoralConfig.strat_partcache(10_000, seed=7),
+        ):
+            report = session.quantify(constraints, profile, config=config).run()
+            print(
+                f"{report.feature_label:28s} estimate={report.mean:.6f} "
+                f"std={report.std:.3e} samples={report.total_samples:6d} "
+                f"time={report.analysis_time:.2f}s"
+            )
     print()
 
 
@@ -73,34 +73,57 @@ def analyze_a_program() -> None:
     print("3. Full pipeline on the safety-monitor program")
     print("=" * 72)
 
-    result = analyze_program(
-        programs.SAFETY_MONITOR,
-        programs.SAFETY_MONITOR_EVENT,
-        config=QCoralConfig.strat_partcache(30_000, seed=3),
-    )
-    print(f"paths reaching the event: {len(result.qcoral_result.path_reports)}")
-    print(f"P(callSupervisor) = {result.mean:.6f}   (paper's exact value: 0.737848)")
-    print(f"standard deviation: {result.std:.3e}")
-    print(result.confidence_note)
+    from repro.subjects import programs
+
+    with Session() as session:
+        report = (
+            session.analyze(programs.SAFETY_MONITOR, programs.SAFETY_MONITOR_EVENT)
+            .with_budget(30_000)
+            .seed(3)
+            .run()
+        )
+    print(f"paths reaching the event: {report.paths}")
+    print(f"P(callSupervisor) = {report.mean:.6f}   (paper's exact value: 0.737848)")
+    print(f"standard deviation: {report.std:.3e}")
+    print(report.confidence_note)
+    print()
+
+
+def stream_an_adaptive_run() -> None:
+    """Per-round streaming: watch convergence, stop early whenever you like."""
+    print("=" * 72)
+    print("4. Streaming an adaptive run (target sigma 5e-4)")
+    print("=" * 72)
+
+    with Session() as session:
+        query = session.quantify("x * x + y * y <= 1", BOUNDS).with_budget(200_000).seed(5)
+        query = query.until(std=5e-4, rounds=8)
+        stream = query.stream()
+        for round_report in stream:
+            print(
+                f"round {round_report.round_index}: +{round_report.allocated:6d} samples "
+                f"-> estimate={round_report.mean:.6f} sigma={round_report.std:.2e}"
+            )
+        report = stream.report
+    status = "met" if report.met_target else "budget exhausted"
+    print(f"final: {report.mean:.6f} after {report.total_samples} samples ({status})")
     print()
 
 
 def run_in_parallel() -> None:
     """The executor backends: same seed, same estimate, any worker count."""
     print("=" * 72)
-    print("4. Parallel execution (serial vs thread vs process backends)")
+    print("5. Parallel execution (serial vs thread vs process backends)")
     print("=" * 72)
-
-    profile = UsageProfile.uniform({"x": (-1, 1), "y": (-1, 1)})
-    constraint_set = parse_constraint_set("x * x + y * y <= 1")
 
     results = {}
     for executor, workers in (("serial", None), ("thread", 2), ("process", 2)):
-        config = QCoralConfig(samples_per_query=200_000, seed=11, executor=executor, workers=workers)
-        result = quantify(constraint_set, profile, config)
+        with Session(executor=executor, workers=workers) as session:
+            query = session.quantify("x * x + y * y <= 1", BOUNDS)
+            report = query.with_budget(200_000).seed(11).run()
         label = executor if workers is None else f"{executor}×{workers}"
-        results[label] = result
-        print(f"{label:12s} estimate={result.mean:.6f} std={result.std:.3e} " f"time={result.analysis_time:.2f}s")
+        results[label] = report
+        print(f"{label:12s} estimate={report.mean:.6f} std={report.std:.3e} " f"time={report.analysis_time:.2f}s")
     estimates = {(r.mean, r.variance) for r in results.values()}
     print(f"bit-identical across backends: {len(estimates) == 1}")
     print()
@@ -109,20 +132,27 @@ def run_in_parallel() -> None:
 def reuse_across_runs() -> None:
     """The persistent store: a cold run pays, the warm re-run is free."""
     print("=" * 72)
-    print("5. Persistent estimate store (cold run, then warm re-run)")
+    print("6. Persistent estimate store (cold run, then warm re-run)")
     print("=" * 72)
+
+    from repro.analysis.results import reuse_summary
+    from repro.subjects import programs
 
     handle, store_path = tempfile.mkstemp(suffix=".db")
     os.close(handle)
     os.remove(store_path)
     try:
-        config = QCoralConfig.strat_partcache(30_000, seed=1).with_store(store_path)
         for label in ("cold", "warm"):
-            result = analyze_program(programs.SAFETY_MONITOR, programs.SAFETY_MONITOR_EVENT, config=config)
-            stats = result.qcoral_result.cache_statistics
+            with Session(store=store_path) as session:
+                report = (
+                    session.analyze(programs.SAFETY_MONITOR, programs.SAFETY_MONITOR_EVENT)
+                    .with_budget(30_000)
+                    .seed(1)
+                    .run()
+                )
             print(
-                f"{label:5s} P = {result.mean:.6f}  samples drawn = "
-                f"{result.qcoral_result.total_samples:6d}  ({reuse_summary(stats)})"
+                f"{label:5s} P = {report.mean:.6f}  samples drawn = "
+                f"{report.total_samples:6d}  ({reuse_summary(report.cache_statistics)})"
             )
         print("warm re-run reused every stored factor: no sampling at all")
     finally:
@@ -135,6 +165,7 @@ def main() -> None:
     quantify_a_constraint_set()
     compare_feature_configurations()
     analyze_a_program()
+    stream_an_adaptive_run()
     run_in_parallel()
     reuse_across_runs()
 

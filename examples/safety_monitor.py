@@ -12,12 +12,16 @@ analysis of the paper step by step:
 * the estimators are composed with the product rule (Eq. 7-8) and the disjoint
   sum rule (Eq. 5-6).
 
+The quantification itself goes through the public Session facade; the
+returned :class:`~repro.api.report.Report` keeps the per-path, per-factor
+drill-down used below.
+
 Run with:  python examples/safety_monitor.py
 """
 
 from __future__ import annotations
 
-from repro import QCoralAnalyzer, QCoralConfig, UsageProfile
+from repro import Session
 from repro.core.dependency import partition_for_constraint_set
 from repro.subjects import programs
 from repro.symexec import execute_program, parse_program
@@ -41,25 +45,25 @@ def main() -> None:
     for block in partition:
         print("  block:", ", ".join(sorted(block)))
 
-    # Stage 3: compositional statistical quantification.
-    profile = UsageProfile.uniform(program.input_bounds())
-    analyzer = QCoralAnalyzer(profile, QCoralConfig.strat_partcache(30_000, seed=2014))
-    result = analyzer.analyze(target)
+    # Stage 3: compositional statistical quantification through the facade.
+    profile = {name: bounds for name, bounds in program.input_bounds().items()}
+    with Session() as session:
+        report = session.quantify(target, profile).with_budget(30_000).seed(2014).run()
 
     print("\nPer-path estimates:")
-    for report in result.path_reports:
+    for path_report in report.path_reports:
         factors = ", ".join(
             f"{{{', '.join(sorted(factor.variables))}}}: {factor.estimate.mean:.4f}"
-            for factor in report.factors
+            for factor in path_report.factors
         )
-        print(f"  {report.pc}")
-        print(f"    estimate={report.estimate.mean:.6f}  factors: {factors}")
+        print(f"  {path_report.pc}")
+        print(f"    estimate={path_report.estimate.mean:.6f}  factors: {factors}")
 
-    print(f"\nP(callSupervisor) = {result.mean:.6f}")
+    print(f"\nP(callSupervisor) = {report.mean:.6f}")
     print("paper's exact value: 0.737848")
-    print(f"variance bound (Theorem 1): {result.variance:.3e}")
-    print(f"standard deviation:         {result.std:.3e}")
-    lower, upper = result.estimate.chebyshev_interval(0.95)
+    print(f"variance bound (Theorem 1): {report.variance:.3e}")
+    print(f"standard deviation:         {report.std:.3e}")
+    lower, upper = report.estimate.chebyshev_interval(0.95)
     print(f"95% Chebyshev interval:     [{lower:.4f}, {upper:.4f}]")
 
 

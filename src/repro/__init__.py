@@ -2,28 +2,53 @@
 
 This package reproduces the PLDI 2014 paper "Compositional Solution Space
 Quantification for Probabilistic Software Analysis" (Borges, Filieri,
-d'Amorim, Păsăreanu, Visser).  The public API is re-exported here:
+d'Amorim, Păsăreanu, Visser).
 
-* :class:`UsageProfile` — probabilistic characterisation of the inputs.
-* :func:`parse_constraint_set` / :class:`ConstraintSet` — the constraint
-  language path conditions are written in.
-* :class:`QCoralAnalyzer` / :func:`quantify` — the compositional statistical
-  quantification engine (the paper's contribution).
-* :mod:`repro.symexec` — a small imperative language with a bounded symbolic
-  executor that produces path conditions (the Symbolic PathFinder substitute).
-* :mod:`repro.baselines` — the comparison techniques used in the evaluation.
+The public way in is the **Session facade** (:mod:`repro.api`)::
+
+    from repro import Session
+
+    with Session() as session:
+        report = (
+            session.quantify("x <= 0 - y && y <= x", {"x": (-1, 1), "y": (-1, 1)})
+            .with_budget(30_000)
+            .seed(1)
+            .run()
+        )
+        print(report.mean, report.std)
+
+* :class:`Session` — owns executor + store lifecycles, builds queries.
+* :class:`Query` — fluent, immutable builder; ``run()`` blocks,
+  ``stream()`` yields per-round results, ``repeat()`` aggregates trials.
+* :class:`Report` — the unified result type with a versioned JSON schema.
+* ``register_method`` / ``register_executor`` / ``register_store_backend`` —
+  pluggable backend registries behind method/executor/store resolution.
+
+The pre-facade entry points (``quantify``, ``ProbabilisticAnalysisPipeline``,
+``PipelineResult``, ``analyze_program``, ``repeat_quantification``) remain
+available as deprecated shims with bit-identical fixed-seed results; the
+lower layers (:mod:`repro.core`, :mod:`repro.exec`, :mod:`repro.store`,
+:mod:`repro.symexec`, :mod:`repro.baselines`) stay importable directly.
 """
 
-from repro.core.estimate import Estimate
-from repro.exec import (
-    EXECUTOR_KINDS,
-    Executor,
-    ProcessPoolExecutor,
-    SeedStream,
-    SerialExecutor,
-    ThreadPoolExecutor,
-    make_executor,
+from __future__ import annotations
+
+import importlib
+import warnings
+
+from repro.api import (
+    SCHEMA_VERSION,
+    Query,
+    Report,
+    RoundStream,
+    Session,
+    register_executor,
+    register_method,
+    register_store_backend,
 )
+from repro.core.estimate import Estimate
+from repro.core.methods import ESTIMATION_METHODS, EstimationMethod
+from repro.core.importance import ImportanceSampler, importance_sampling
 from repro.core.profiles import (
     BinomialDistribution,
     CategoricalDistribution,
@@ -35,8 +60,23 @@ from repro.core.profiles import (
     UsageProfile,
     parse_distribution_spec,
 )
-from repro.core.importance import ESTIMATION_METHODS, ImportanceSampler, importance_sampling
-from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult, quantify
+from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult, RoundReport
+from repro.exec import (
+    EXECUTOR_KINDS,
+    Executor,
+    ProcessPoolExecutor,
+    SeedStream,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    make_executor,
+)
+from repro.lang.ast import Constraint, ConstraintSet, PathCondition
+from repro.lang.parser import (
+    parse_constraint,
+    parse_constraint_set,
+    parse_expression,
+    parse_path_condition,
+)
 from repro.store import (
     STORE_BACKENDS,
     EstimateStore,
@@ -46,17 +86,20 @@ from repro.store import (
     StoreEntry,
     open_store,
 )
-from repro.lang.ast import Constraint, ConstraintSet, PathCondition
-from repro.lang.parser import (
-    parse_constraint,
-    parse_constraint_set,
-    parse_expression,
-    parse_path_condition,
-)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    # Session facade (the documented public API)
+    "Session",
+    "Query",
+    "RoundStream",
+    "Report",
+    "SCHEMA_VERSION",
+    "register_method",
+    "register_executor",
+    "register_store_backend",
+    # Profiles and the constraint language
     "Estimate",
     "UsageProfile",
     "UniformDistribution",
@@ -67,27 +110,6 @@ __all__ = [
     "TruncatedGeometricDistribution",
     "CategoricalDistribution",
     "parse_distribution_spec",
-    "ESTIMATION_METHODS",
-    "ImportanceSampler",
-    "importance_sampling",
-    "QCoralAnalyzer",
-    "QCoralConfig",
-    "QCoralResult",
-    "quantify",
-    "Executor",
-    "SerialExecutor",
-    "ThreadPoolExecutor",
-    "ProcessPoolExecutor",
-    "EXECUTOR_KINDS",
-    "make_executor",
-    "SeedStream",
-    "EstimateStore",
-    "MemoryStore",
-    "JsonlStore",
-    "SqliteStore",
-    "StoreEntry",
-    "STORE_BACKENDS",
-    "open_store",
     "Constraint",
     "PathCondition",
     "ConstraintSet",
@@ -95,5 +117,65 @@ __all__ = [
     "parse_constraint",
     "parse_path_condition",
     "parse_constraint_set",
+    # Engine layer (stable, non-deprecated lower-level surface)
+    "QCoralAnalyzer",
+    "QCoralConfig",
+    "QCoralResult",
+    "RoundReport",
+    "EstimationMethod",
+    "ESTIMATION_METHODS",
+    "ImportanceSampler",
+    "importance_sampling",
+    # Executor backends
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "EXECUTOR_KINDS",
+    "make_executor",
+    "SeedStream",
+    # Store backends
+    "EstimateStore",
+    "MemoryStore",
+    "JsonlStore",
+    "SqliteStore",
+    "StoreEntry",
+    "STORE_BACKENDS",
+    "open_store",
     "__version__",
 ]
+# Deprecated shims (quantify, ProbabilisticAnalysisPipeline, PipelineResult,
+# analyze_program, repeat_quantification) resolve through __getattr__ below
+# with a DeprecationWarning.  They are deliberately NOT in __all__ so that
+# `from repro import *` stays warning-free; the API-surface snapshot tracks
+# them through _DEPRECATED_EXPORTS instead.
+
+#: Deprecated exports: name → (module, attribute, replacement in the warning).
+_DEPRECATED_EXPORTS = {
+    "quantify": ("repro.core.qcoral", "quantify", "Session().quantify(...).run()"),
+    "ProbabilisticAnalysisPipeline": (
+        "repro.analysis.pipeline",
+        "ProbabilisticAnalysisPipeline",
+        "Session().analyze(...)",
+    ),
+    "PipelineResult": ("repro.analysis.pipeline", "PipelineResult", "repro.Report"),
+    "analyze_program": ("repro.analysis.pipeline", "analyze_program", "Session().analyze(...).run()"),
+    "repeat_quantification": ("repro.analysis.runner", "repeat_quantification", "Query.repeat(...)"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute, replacement = _DEPRECATED_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__) | set(_DEPRECATED_EXPORTS))

@@ -84,6 +84,32 @@ class PipelineResult:
         return (f"probability mass of paths hitting the execution bound: " f"{self.bounded_probability.mean:.6f}")
 
 
+def require_event(symbolic: SymbolicExecutionResult, event: str) -> None:
+    """Raise :class:`AnalysisError` when ``event`` occurs on no explored path.
+
+    Shared by the pipeline and the Session facade so the two surfaces can
+    never drift apart in validation or message.
+    """
+    if event not in symbolic.events():
+        raise AnalysisError(
+            f"event {event!r} never occurs on any explored path; "
+            f"known events: {list(symbolic.events())}"
+        )
+
+
+def bounded_probability_estimate(analyzer: QCoralAnalyzer, symbolic: SymbolicExecutionResult) -> Estimate:
+    """Probability mass of the paths that hit the execution bound.
+
+    The paper proposes this as a confidence measure for the bounded result;
+    an exploration with no bound-hitting paths has exactly zero mass.  Shared
+    by the pipeline and the Session facade.
+    """
+    bounded_set = symbolic.bounded_constraint_set()
+    if not bounded_set.path_conditions:
+        return Estimate.zero()
+    return analyzer.analyze(bounded_set).estimate
+
+
 class ProbabilisticAnalysisPipeline:
     """Program + usage profile + target event → probability estimate."""
 
@@ -106,6 +132,7 @@ class ProbabilisticAnalysisPipeline:
         self._store = store
         self._symbolic_result: Optional[SymbolicExecutionResult] = None
         self._analyzer: Optional[QCoralAnalyzer] = None
+        self._closed = False
 
     @property
     def program(self) -> Program:
@@ -141,12 +168,21 @@ class ProbabilisticAnalysisPipeline:
             self._analyzer = QCoralAnalyzer(self._profile, self._config, executor=self._executor, store=self._store)
         return self._analyzer
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
     def close(self) -> None:
         """Shut down any executor pool or store handle the analyzer created.
 
-        Borrowed instances (passed to the constructor) stay open for their
-        owner, exactly as in :meth:`QCoralAnalyzer.close`.
+        Idempotent, like :meth:`QCoralAnalyzer.close`: repeated calls (e.g.
+        nested context-manager entry) are no-ops, and borrowed instances
+        (passed to the constructor) stay open for their owner in every case.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self._analyzer is not None:
             self._analyzer.close()
 
@@ -159,20 +195,11 @@ class ProbabilisticAnalysisPipeline:
     def analyze(self, event: str) -> PipelineResult:
         """Quantify the probability that ``event`` occurs during execution."""
         symbolic = self.symbolic_execution()
-        if event not in symbolic.events():
-            raise AnalysisError(
-                f"event {event!r} never occurs on any explored path; "
-                f"known events: {list(symbolic.events())}"
-            )
+        require_event(symbolic, event)
         constraint_set = symbolic.constraint_set_for(event)
         analyzer = self.analyzer()
         result = analyzer.analyze(constraint_set)
-
-        bounded_set = symbolic.bounded_constraint_set()
-        if bounded_set.path_conditions:
-            bounded = analyzer.analyze(bounded_set).estimate
-        else:
-            bounded = Estimate.zero()
+        bounded = bounded_probability_estimate(analyzer, symbolic)
 
         return PipelineResult(
             event=event,

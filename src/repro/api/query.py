@@ -1,0 +1,353 @@
+"""The fluent, immutable :class:`Query` builder and its streaming results.
+
+A :class:`Query` describes one analysis — what to quantify (a constraint set
+or a program event), under which usage profile, with which estimation
+settings — without running anything.  Every fluent method returns a **new**
+query; the receiver is never mutated, so queries can be shared, specialised,
+and re-run freely::
+
+    base = session.quantify(cs, profile).with_budget(100_000)
+    fast = base.method("importance").until(std=1e-4)
+    report = fast.run()
+    for round_report in fast.stream():      # same numbers, incrementally
+        print(round_report.std)
+
+Queries *compile* down to the engine's :class:`~repro.core.qcoral.QCoralConfig`
+(:meth:`Query.compile`), so the facade adds no second configuration system —
+and a fixed seed produces bit-identical results through the facade and through
+the legacy entry points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple, Union
+
+from repro.api.report import Report
+from repro.core.estimate import Estimate
+from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, RoundReport
+from repro.errors import AnalysisError, ConfigurationError
+from repro.lang.ast import ConstraintSet
+from repro.symexec.ast import Program
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session builds queries)
+    from repro.api.session import Session
+
+#: QCoralConfig field names a query may override (anything else is a typo).
+_CONFIG_FIELDS = frozenset(field.name for field in fields(QCoralConfig))
+
+
+@dataclass(frozen=True)
+class _ConstraintTarget:
+    """A constraint set to quantify directly (the paper's microbenchmark mode)."""
+
+    constraint_set: ConstraintSet
+
+
+@dataclass(frozen=True)
+class _ProgramTarget:
+    """A program + target event to analyse end to end (paper Figure 1)."""
+
+    program: Program
+    event: str
+    max_depth: int
+    max_paths: int
+
+
+class RoundStream(Iterator[RoundReport]):
+    """Iterator over per-round reports with early-stop and a final report.
+
+    Wraps the engine's round generator: iterating yields one
+    :class:`~repro.core.qcoral.RoundReport` per adaptive round as it
+    completes.  Call :meth:`stop` (or just stop iterating and read
+    :attr:`report`) to end sampling early; the :attr:`report` property then
+    finalises the analysis with the rounds drawn so far and returns the
+    unified :class:`~repro.api.report.Report`.
+    """
+
+    def __init__(self, generator) -> None:
+        self._generator = generator
+        self._report: Optional[Report] = None
+        self._started = False
+        self._stop = False
+        self._done = False
+        self._failed = False
+
+    def __iter__(self) -> "RoundStream":
+        return self
+
+    def __next__(self) -> RoundReport:
+        if self._done:
+            raise StopIteration
+        try:
+            if not self._started:
+                self._started = True
+                return next(self._generator)
+            return self._generator.send(self._stop)
+        except StopIteration as finished:
+            self._done = True
+            self._report = finished.value
+            raise StopIteration from None
+        except BaseException:
+            # The engine failed mid-stream; remember it so a later .report
+            # points at the real cause, not at close() semantics.
+            self._done = True
+            self._failed = True
+            raise
+
+    def stop(self) -> None:
+        """Request an early stop: no further rounds are sampled."""
+        self._stop = True
+
+    def close(self) -> None:
+        """Abandon the stream without building a report.
+
+        Caches and the persistent store are still flushed with whatever was
+        drawn (the engine finalises on ``GeneratorExit``); use :attr:`report`
+        instead when the partial result is wanted.  Abandoning by simply
+        dropping the stream flushes too, but only when the garbage collector
+        gets to it — ``close()`` is the deterministic form.
+        """
+        self._done = True
+        self._generator.close()
+
+    @property
+    def report(self) -> Report:
+        """The final report; finalises (stopping early) if still streaming."""
+        if not self._done:
+            self._stop = True
+            while not self._done:
+                try:
+                    next(self)
+                except StopIteration:
+                    break
+        if self._report is None:
+            if self._failed:
+                raise AnalysisError(
+                    "this stream already failed with an error before producing a result; "
+                    "fix the underlying failure and re-run the query"
+                )
+            raise AnalysisError(
+                "this stream was closed without building a result; read .report "
+                "(or use run()) instead of close() when the partial report is wanted"
+            )
+        return self._report
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable, fluent description of one analysis.
+
+    Build through :meth:`Session.quantify` or :meth:`Session.analyze`; refine
+    with the fluent methods; execute with :meth:`run` (blocking),
+    :meth:`stream` (incremental per-round results), or :meth:`repeat`
+    (independent seeded trials).
+    """
+
+    _session: "Session"
+    _target: Union[_ConstraintTarget, _ProgramTarget]
+    _profile: Optional[object]
+    _base: QCoralConfig
+    _settings: Tuple[Tuple[str, Any], ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Fluent refinement (every method returns a NEW query)
+    # ------------------------------------------------------------------ #
+    def _with(self, **updates: Any) -> "Query":
+        merged: Dict[str, Any] = dict(self._settings)
+        merged.update(updates)
+        return replace(self, _settings=tuple(sorted(merged.items())))
+
+    def configure(self, **settings: Any) -> "Query":
+        """Override any :class:`QCoralConfig` field by name (escape hatch)."""
+        unknown = sorted(set(settings) - _CONFIG_FIELDS)
+        if unknown:
+            raise ConfigurationError(f"unknown configuration fields {unknown}; expected QCoralConfig fields")
+        return self._with(**settings)
+
+    def with_budget(self, samples: int) -> "Query":
+        """Total sampling budget per estimated factor."""
+        return self._with(samples_per_query=samples)
+
+    def method(self, name: str) -> "Query":
+        """Estimation method, resolved against the method registry at run time."""
+        return self._with(method=name)
+
+    def until(self, *, std: Optional[float] = None, rounds: Optional[int] = None) -> "Query":
+        """Convergence criteria: a target standard deviation and/or a round cap.
+
+        Note the engine contract inherited from :class:`QCoralConfig`: a
+        ``std`` target with ``rounds`` left at (or set to) 1 is raised to
+        :data:`~repro.core.qcoral.DEFAULT_ADAPTIVE_ROUNDS`, because a
+        one-round run cannot adapt toward a target.  Pass ``rounds >= 2`` to
+        cap the adaptive loop explicitly.
+        """
+        if std is None and rounds is None:
+            raise ConfigurationError("until() needs a std= target, a rounds= cap, or both")
+        updates: Dict[str, Any] = {}
+        if std is not None:
+            updates["target_std"] = std
+        if rounds is not None:
+            updates["max_rounds"] = rounds
+        return self._with(**updates)
+
+    def allocation(self, policy: str) -> "Query":
+        """Per-stratum/per-factor budget split policy (``even``/``neyman``/``mass``)."""
+        return self._with(allocation=policy)
+
+    def seed(self, seed: Optional[int]) -> "Query":
+        """Master random seed (None draws fresh entropy)."""
+        return self._with(seed=seed)
+
+    def features(
+        self,
+        *,
+        stratified: Optional[bool] = None,
+        partition_and_cache: Optional[bool] = None,
+    ) -> "Query":
+        """Toggle the paper's STRAT / PARTCACHE features."""
+        updates: Dict[str, Any] = {}
+        if stratified is not None:
+            updates["stratified"] = stratified
+        if partition_and_cache is not None:
+            updates["partition_and_cache"] = partition_and_cache
+        if not updates:
+            raise ConfigurationError("features() needs stratified= and/or partition_and_cache=")
+        return self._with(**updates)
+
+    def on(self, executor: Optional[str], workers: Optional[int] = None) -> "Query":
+        """Execution backend override for this query (registry-resolved).
+
+        Overrides the session's executor; the backend this names is created
+        for the run and shut down afterwards.
+        """
+        return self._with(executor=executor, workers=workers)
+
+    def with_store(self, path: Optional[str], backend: Optional[str] = None, readonly: bool = False) -> "Query":
+        """Persistent estimate store override for this query (registry-resolved)."""
+        return self._with(store_path=path, store_backend=backend, store_readonly=readonly)
+
+    # ------------------------------------------------------------------ #
+    # Compilation and execution
+    # ------------------------------------------------------------------ #
+    def compile(self) -> QCoralConfig:
+        """The :class:`QCoralConfig` this query resolves to."""
+        overrides = dict(self._settings)
+        if not overrides:
+            return self._base
+        return replace(self._base, **overrides)
+
+    def run(self) -> Report:
+        """Execute the query to completion and return the unified report."""
+        stream = self.stream()
+        for _ in stream:
+            pass
+        return stream.report
+
+    def stream(self) -> RoundStream:
+        """Execute incrementally: a :class:`RoundStream` of per-round reports.
+
+        Yields the same per-round numbers a blocking :meth:`run` produces for
+        the same seed (both drain one engine generator); stop iterating early
+        to cut the sampling short and read ``.report`` for the partial result.
+        """
+        return RoundStream(self._execute())
+
+    def repeat(self, runs: int = 30, base_seed: int = 0, executor: Optional[object] = None) -> Report:
+        """Run the query at ``runs`` independent spawned seeds and aggregate.
+
+        Seeds come from :func:`repro.analysis.runner.trial_seeds`, so the
+        trial estimates match the paper's repeated-execution protocol; the
+        returned report has ``kind="repeated"`` with per-trial records in
+        ``trials``.  ``executor`` optionally dispatches whole trials on an
+        :class:`~repro.exec.executor.Executor` (trial order is preserved).
+        """
+        from repro.analysis.runner import repeat_query
+
+        repeated = repeat_query(self, runs=runs, base_seed=base_seed, executor=executor)
+        return Report.from_repeated(repeated, config=self.compile())
+
+    # ------------------------------------------------------------------ #
+    # The execution generator behind run()/stream()
+    # ------------------------------------------------------------------ #
+    def _execute(self):
+        config = self.compile()
+        session = self._session
+        session._check_open()
+        # Session-owned handles are borrowed only when neither the fluent
+        # settings nor the base config ask for a specific backend; an explicit
+        # request always wins, and the analyzer then creates/owns/closes the
+        # requested backend itself.
+        settings = dict(self._settings)
+        executor = None
+        if "executor" not in settings and "workers" not in settings and config.executor is None:
+            executor = session.executor
+        store = None
+        if "store_path" not in settings and "store_backend" not in settings and not config.wants_store:
+            store = session.store
+
+        if isinstance(self._target, _ConstraintTarget):
+            if self._profile is None:
+                raise ConfigurationError(
+                    "quantifying a constraint set needs a usage profile "
+                    "(pass one to Session.quantify, e.g. {'x': (-1, 1)})"
+                )
+            analyzer = QCoralAnalyzer(self._profile, config, executor=executor, store=store)
+            try:
+                result = yield from analyzer.analyze_stream(self._target.constraint_set)
+            finally:
+                analyzer.close()
+            return Report.from_qcoral(result)
+
+        # Program target: bounded symbolic execution, then quantification of
+        # the event's constraint set — streamed — and of the bound-hitting
+        # paths (the paper's confidence measure) as a final blocking step.
+        from repro.analysis.pipeline import (
+            ProbabilisticAnalysisPipeline,
+            bounded_probability_estimate,
+            require_event,
+        )
+
+        target = self._target
+        pipeline = ProbabilisticAnalysisPipeline(
+            target.program,
+            self._profile,  # None = uniform over the program's declared bounds
+            config,
+            max_depth=target.max_depth,
+            max_paths=target.max_paths,
+            executor=executor,
+            store=store,
+        )
+        try:
+            symbolic = pipeline.symbolic_execution()
+            require_event(symbolic, target.event)
+            analyzer = pipeline.analyzer()
+            # Pump the event stream by hand (rather than `yield from`) so the
+            # consumer's stop signal is visible here: a cancelled stream must
+            # not fall through into a full-budget bounded-paths analysis.
+            rounds = analyzer.analyze_stream(symbolic.constraint_set_for(target.event))
+            stopped = False
+            sent: Optional[bool] = None
+            try:
+                while True:
+                    try:
+                        report = rounds.send(sent)
+                    except StopIteration as finished:
+                        result = finished.value
+                        break
+                    sent = yield report
+                    stopped = stopped or bool(sent)
+            finally:
+                # Closing an already-finished generator is a no-op; on
+                # abandonment this triggers the engine's GeneratorExit flush.
+                rounds.close()
+            if stopped and symbolic.bounded_constraint_set().path_conditions:
+                # The caller cancelled the run: the bound-hitting mass was
+                # never quantified, and None says so (0.0 would claim an
+                # exact confidence measure that was not computed).
+                bounded: Optional[Estimate] = None
+            else:
+                bounded = bounded_probability_estimate(analyzer, symbolic)
+        finally:
+            pipeline.close()
+        return Report.from_qcoral(result, kind="program", event=target.event, bounded=bounded)

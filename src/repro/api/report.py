@@ -1,0 +1,244 @@
+"""The unified :class:`Report` result type with a versioned JSON schema.
+
+One dataclass replaces the three divergent result surfaces that accreted over
+the first PRs — :class:`~repro.core.qcoral.QCoralResult` (direct
+quantification), :class:`~repro.analysis.pipeline.PipelineResult` (program
+analysis), and :class:`~repro.analysis.runner.RepeatedResult` (repeated
+trials).  The old types keep working as deprecated aliases behind the facade;
+every new surface (``Session``/``Query``, ``qcoral ... --json``) speaks
+:class:`Report`.
+
+Serialisation contract
+----------------------
+
+``Report.to_dict()`` / ``to_json()`` emit a flat, stable schema stamped with
+:data:`SCHEMA_VERSION`.  The rule for evolving it:
+
+* **Adding** a key is backward compatible and does NOT bump the version.
+* **Renaming, removing, or changing the meaning/type** of an existing key
+  bumps :data:`SCHEMA_VERSION` and must update the golden file in
+  ``tests/data/`` in the same change.
+
+Consumers should ignore keys they do not know and check ``schema_version``
+before relying on key semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.cache import CacheStatistics
+from repro.core.estimate import Estimate
+from repro.core.qcoral import QCoralConfig, QCoralResult, RoundReport
+
+#: Version stamp of the ``to_dict()``/``to_json()`` schema (bump rule above).
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Report:
+    """Unified outcome of any analysis run through the Session facade.
+
+    ``kind`` says which shape of run produced it: ``"quantification"`` (a
+    direct constraint-set query), ``"program"`` (symbolic execution followed
+    by quantification of a target event; ``event`` and ``bounded`` are then
+    set), or ``"repeated"`` (an aggregate over independent trials; ``trials``
+    is then set and the estimate is the across-trial mean/empirical variance).
+    """
+
+    kind: str
+    estimate: Estimate
+    total_samples: int
+    analysis_time: float
+    paths: int = 0
+    round_reports: Tuple[RoundReport, ...] = ()
+    #: Per-path-condition detail (factor estimates, cache provenance).  An
+    #: in-memory drill-down only — deliberately not part of the JSON schema.
+    path_reports: Tuple[Any, ...] = ()
+    feature_label: str = ""
+    method: str = "hit-or-miss"
+    seed: Optional[int] = None
+    target_std: Optional[float] = None
+    executor: Optional[str] = None
+    store: Optional[str] = None
+    cache_statistics: Optional[CacheStatistics] = None
+    event: Optional[str] = None
+    bounded: Optional[Estimate] = None
+    trials: Optional[Tuple[Any, ...]] = None
+    config: Optional[QCoralConfig] = None
+
+    # ------------------------------------------------------------------ #
+    # Derived accessors (one vocabulary across all run kinds)
+    # ------------------------------------------------------------------ #
+    @property
+    def mean(self) -> float:
+        """Expected value of the probability estimator."""
+        return self.estimate.mean
+
+    @property
+    def variance(self) -> float:
+        """Variance (bound) of the probability estimator."""
+        return self.estimate.variance
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the probability estimator."""
+        return self.estimate.std
+
+    @property
+    def rounds(self) -> int:
+        """Number of adaptive sampling rounds executed."""
+        return len(self.round_reports)
+
+    @property
+    def met_target(self) -> bool:
+        """True when a convergence target was set and reached."""
+        return self.target_std is not None and self.std <= self.target_std
+
+    @property
+    def confidence_note(self) -> str:
+        """Human-readable statement of the bounded-path probability mass."""
+        if self.bounded is None:
+            return ""
+        return f"probability mass of paths hitting the execution bound: {self.bounded.mean:.6f}"
+
+    def __repr__(self) -> str:
+        extra = f", event={self.event!r}" if self.event is not None else ""
+        return (
+            f"Report(kind={self.kind!r}, mean={self.mean:.6f}, std={self.std:.3e}, "
+            f"samples={self.total_samples}, rounds={self.rounds}{extra})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Construction from the legacy result types
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_qcoral(
+        cls,
+        result: QCoralResult,
+        *,
+        kind: str = "quantification",
+        event: Optional[str] = None,
+        bounded: Optional[Estimate] = None,
+    ) -> "Report":
+        """Build a report from a :class:`~repro.core.qcoral.QCoralResult`."""
+        return cls(
+            kind=kind,
+            estimate=result.estimate,
+            total_samples=result.total_samples,
+            analysis_time=result.analysis_time,
+            paths=len(result.path_reports),
+            round_reports=result.round_reports,
+            path_reports=result.path_reports,
+            feature_label=result.config.feature_label(),
+            method=result.config.method,
+            seed=result.config.seed,
+            target_std=result.config.target_std,
+            executor=result.executor,
+            store=result.store,
+            cache_statistics=result.cache_statistics,
+            event=event,
+            bounded=bounded,
+            config=result.config,
+        )
+
+    @classmethod
+    def from_pipeline(cls, result) -> "Report":
+        """Build a report from a :class:`~repro.analysis.pipeline.PipelineResult`."""
+        return cls.from_qcoral(
+            result.qcoral_result,
+            kind="program",
+            event=result.event,
+            bounded=result.bounded_probability,
+        )
+
+    @classmethod
+    def from_repeated(cls, repeated, *, config: Optional[QCoralConfig] = None) -> "Report":
+        """Build a report from a :class:`~repro.analysis.runner.RepeatedResult`.
+
+        The estimate carries the across-trial mean and the *empirical*
+        variance (the paper's Table 2 "σ" squared); per-trial records are
+        kept in :attr:`trials`.  ``config`` (the trials' shared base
+        configuration) fills the method/features/target metadata; ``seed``
+        stays None because every trial runs its own spawned seed.
+        """
+        outcomes = tuple(repeated.outcomes)
+        return cls(
+            kind="repeated",
+            estimate=Estimate(repeated.mean_estimate, repeated.empirical_std**2),
+            total_samples=sum(outcome.samples for outcome in outcomes),
+            analysis_time=sum(outcome.elapsed for outcome in outcomes),
+            feature_label=config.feature_label() if config is not None else "",
+            method=config.method if config is not None else "hit-or-miss",
+            target_std=config.target_std if config is not None else None,
+            trials=outcomes,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Versioned serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """The versioned, JSON-ready rendering of this report."""
+        cache = None
+        if self.cache_statistics is not None:
+            statistics = self.cache_statistics
+            cache = {
+                "lookups": statistics.lookups,
+                "hits": statistics.hits,
+                "misses": statistics.misses,
+                "store_hits": statistics.store_hits,
+                "store_misses": statistics.store_misses,
+                "warm_starts": statistics.warm_starts,
+                "store_publishes": statistics.store_publishes,
+                "store_merges": statistics.store_merges,
+            }
+        trials = None
+        if self.trials is not None:
+            trials = [
+                {
+                    "estimate": outcome.estimate,
+                    "reported_std": outcome.reported_std,
+                    "time": outcome.elapsed,
+                    "samples": outcome.samples,
+                    "rounds": outcome.rounds,
+                }
+                for outcome in self.trials
+            ]
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "mean": self.mean,
+            "std": self.std,
+            "variance": self.variance,
+            "samples": self.total_samples,
+            "paths": self.paths,
+            "time": self.analysis_time,
+            "features": self.feature_label,
+            "method": self.method,
+            "seed": self.seed,
+            "target_std": self.target_std,
+            "met_target": self.met_target,
+            "executor": self.executor,
+            "store": self.store,
+            "rounds": [
+                {
+                    "round": report.round_index,
+                    "allocated": report.allocated,
+                    "cumulative": report.total_samples,
+                    "mean": report.mean,
+                    "std": report.std,
+                }
+                for report in self.round_reports
+            ],
+            "cache": cache,
+            "event": self.event,
+            "bounded": (None if self.bounded is None else {"mean": self.bounded.mean, "std": self.bounded.std}),
+            "trials": trials,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON rendering of :meth:`to_dict` (stable key order)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)

@@ -1,0 +1,259 @@
+"""The :class:`Session`: single entry point of the public quantification API.
+
+A session owns the expensive, shareable resources — an executor pool and a
+persistent estimate store — exactly once.  Every query built from the session
+borrows them, so ten analyses share one warm worker pool and one store handle
+instead of paying ten start-up costs; closing the session (it is a context
+manager, and ``close`` is idempotent) releases owned resources exactly once
+and never touches instances the caller passed in.
+
+Typical use::
+
+    from repro import Session
+
+    with Session(executor="process", workers=4, store="estimates.db") as session:
+        report = (
+            session.quantify("x*x + y*y <= 1", {"x": (-1, 1), "y": (-1, 1)})
+            .with_budget(100_000)
+            .until(std=1e-3)
+            .run()
+        )
+        program_report = session.analyze(source, "callSupervisor").run()
+
+Both query shapes — direct constraint sets and symbolically executed
+programs — go through the same fluent :class:`~repro.api.query.Query`, stream
+the same per-round results, and return the same unified
+:class:`~repro.api.report.Report`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Optional, Union
+
+from repro.api.query import Query, _ConstraintTarget, _ProgramTarget
+from repro.core.profiles import Distribution, UniformDistribution, UsageProfile, parse_distribution_spec
+from repro.core.qcoral import QCoralConfig
+from repro.errors import ConfigurationError
+from repro.exec.executor import EXECUTOR_KINDS, Executor, make_executor
+from repro.lang.ast import ConstraintSet
+from repro.lang.parser import parse_constraint_set
+from repro.store.backends import STORE_BACKENDS, EstimateStore, open_store
+from repro.symexec.ast import Program
+from repro.symexec.parser import parse_program
+
+#: What callers may pass wherever a usage profile is expected: a finished
+#: profile, or a mapping of variable name → distribution / ``(lo, hi)``
+#: uniform bounds / CLI-style distribution spec string.
+ProfileLike = Union[UsageProfile, Mapping[str, object]]
+
+
+def _coerce_profile(profile: Optional[ProfileLike]) -> Optional[UsageProfile]:
+    if profile is None or isinstance(profile, UsageProfile):
+        return profile
+    if isinstance(profile, Mapping):
+        distributions: dict = {}
+        for name, spec in profile.items():
+            if isinstance(spec, Distribution):
+                distributions[name] = spec
+            elif isinstance(spec, str):
+                distributions[name] = parse_distribution_spec(spec)
+            elif isinstance(spec, tuple) and len(spec) == 2:
+                try:
+                    low, high = float(spec[0]), float(spec[1])
+                except (TypeError, ValueError):
+                    raise ConfigurationError(
+                        f"cannot interpret profile entry {name}={spec!r}; a (lo, hi) pair must be numeric"
+                    ) from None
+                distributions[name] = UniformDistribution(low, high)
+            else:
+                raise ConfigurationError(
+                    f"cannot interpret profile entry {name}={spec!r}; expected a Distribution, "
+                    f"a (lo, hi) pair, or a distribution spec string"
+                )
+        return UsageProfile(distributions)
+    raise ConfigurationError(f"cannot interpret {profile!r} as a usage profile")
+
+
+class Session:
+    """Owns executor + store lifecycles and builds :class:`Query` objects.
+
+    Args:
+        executor: Execution backend shared by every query of this session —
+            a kind name from the executor registry (``"serial"``/``"thread"``/
+            ``"process"``/anything registered) built lazily on first use and
+            owned by the session, or an :class:`Executor` instance, which is
+            *borrowed* and never closed here.  None keeps the in-thread
+            single-stream sampling path.
+        workers: Worker count for a kind-name ``executor`` (None = CPU count).
+        store: Persistent estimate store shared by every query — a path
+            (backend inferred, or named by ``store_backend``) opened lazily
+            and owned by the session, or an :class:`EstimateStore` instance,
+            which is borrowed.  None runs without cross-run reuse.
+        store_backend: Store backend name from the store registry; with a
+            None ``store`` path this opens the backend without a path (only
+            meaningful for path-less backends such as ``memory``).
+        store_readonly: Open the store read-only (reuse without write-back).
+        defaults: Base :class:`QCoralConfig` every query starts from.
+    """
+
+    def __init__(
+        self,
+        *,
+        executor: Union[None, str, Executor] = None,
+        workers: Optional[int] = None,
+        store: Union[None, str, EstimateStore] = None,
+        store_backend: Optional[str] = None,
+        store_readonly: bool = False,
+        defaults: Optional[QCoralConfig] = None,
+    ) -> None:
+        if workers is not None and not isinstance(executor, str):
+            raise ConfigurationError("workers requires an executor kind name to apply to")
+        if isinstance(executor, str) and executor not in EXECUTOR_KINDS:
+            # Typos surface here, at the construction site, not at first use.
+            raise ConfigurationError(f"unknown executor kind {executor!r}; expected one of {EXECUTOR_KINDS}")
+        if isinstance(store, EstimateStore) and store_backend is not None:
+            raise ConfigurationError("store_backend only applies when the store is given as a path")
+        if store_backend is not None and store_backend not in STORE_BACKENDS:
+            raise ConfigurationError(f"unknown store backend {store_backend!r}; expected one of {STORE_BACKENDS}")
+        if store_readonly and store is None and store_backend is None:
+            raise ConfigurationError("store_readonly requires a store path or backend")
+        self._defaults = defaults if defaults is not None else QCoralConfig()
+        self._executor_spec = executor
+        self._workers = workers
+        self._store_spec = store
+        self._store_backend = store_backend
+        self._store_readonly = store_readonly
+        self._executor: Optional[Executor] = executor if isinstance(executor, Executor) else None
+        self._owns_executor = False
+        self._store: Optional[EstimateStore] = store if isinstance(store, EstimateStore) else None
+        self._owns_store = False
+        self._closed = False
+        # Guards the lazy executor/store creation: concurrent queries (e.g.
+        # trials dispatched on a thread executor) must share one instance,
+        # never race two into existence and leak the loser.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Owned resources (lazy, borrowed by every query)
+    # ------------------------------------------------------------------ #
+    @property
+    def executor(self) -> Optional[Executor]:
+        """The session's executor backend (built lazily from a kind name)."""
+        with self._lock:
+            # _closed is checked under the same lock that guards creation and
+            # close(), so a concurrent close() can never interleave with a
+            # lazy creation and strand a live pool on a closed session.
+            self._check_open()
+            if self._executor is None and isinstance(self._executor_spec, str):
+                self._executor = make_executor(self._executor_spec, self._workers)
+                self._owns_executor = True
+            return self._executor
+
+    @property
+    def store(self) -> Optional[EstimateStore]:
+        """The session's estimate store (opened lazily from a path/backend)."""
+        with self._lock:
+            self._check_open()
+            if self._store is None and (isinstance(self._store_spec, str) or self._store_backend is not None):
+                self._store = open_store(
+                    self._store_spec if isinstance(self._store_spec, str) else None,
+                    self._store_backend,
+                    readonly=self._store_readonly,
+                )
+                self._owns_store = True
+            return self._store
+
+    @property
+    def defaults(self) -> QCoralConfig:
+        """The base configuration every query of this session starts from."""
+        return self._defaults
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release owned resources exactly once (idempotent, thread-safe).
+
+        Executor/store instances passed to the constructor are borrowed and
+        stay open for their owner, no matter how often this runs.  Taking the
+        creation lock first means a lazy creation racing this close either
+        completes (and its resource is closed here) or starts after the
+        closed flag is set (and raises instead of creating).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor = self._executor if self._owns_executor else None
+            store = self._store if self._owns_store else None
+        if executor is not None:
+            executor.close()
+        if store is not None:
+            store.close()
+
+    def __enter__(self) -> "Session":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        executor = self._executor.describe() if self._executor is not None else self._executor_spec
+        store = self._store.describe() if self._store is not None else self._store_spec
+        return f"Session(executor={executor!r}, store={store!r}, closed={self._closed})"
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("this Session is closed; create a new one")
+
+    # ------------------------------------------------------------------ #
+    # Query builders
+    # ------------------------------------------------------------------ #
+    def quantify(
+        self,
+        constraints: Union[str, ConstraintSet],
+        profile: Optional[ProfileLike] = None,
+        *,
+        config: Optional[QCoralConfig] = None,
+    ) -> Query:
+        """A query quantifying ``constraints`` directly under ``profile``.
+
+        ``constraints`` is a :class:`ConstraintSet` or constraint-language
+        text (parsed here, so syntax errors surface at build time).
+        """
+        self._check_open()
+        constraint_set = parse_constraint_set(constraints) if isinstance(constraints, str) else constraints
+        return Query(
+            _session=self,
+            _target=_ConstraintTarget(constraint_set),
+            _profile=_coerce_profile(profile),
+            _base=config if config is not None else self._defaults,
+        )
+
+    def analyze(
+        self,
+        program: Union[str, Program],
+        event: str,
+        profile: Optional[ProfileLike] = None,
+        *,
+        max_depth: int = 50,
+        max_paths: int = 100_000,
+        config: Optional[QCoralConfig] = None,
+    ) -> Query:
+        """A query analysing ``program`` end to end for ``event`` (Figure 1).
+
+        With ``profile`` None the program's declared input bounds define a
+        uniform profile, exactly like the legacy pipeline.
+        """
+        self._check_open()
+        parsed = parse_program(program) if isinstance(program, str) else program
+        return Query(
+            _session=self,
+            _target=_ProgramTarget(parsed, event, max_depth, max_paths),
+            _profile=_coerce_profile(profile),
+            _base=config if config is not None else self._defaults,
+        )

@@ -1,6 +1,7 @@
 """Command-line interface of the qCORAL reproduction.
 
-Two sub-commands cover the two entry points of the paper's tool chain:
+Two sub-commands cover the two entry points of the paper's tool chain, both
+built on the :mod:`repro.api` Session facade:
 
 ``qcoral analyze``
     Run the full pipeline of Figure 1 on a mini-language program: symbolic
@@ -10,6 +11,13 @@ Two sub-commands cover the two entry points of the paper's tool chain:
     Skip symbolic execution and quantify a constraint set given directly in
     the constraint language, with per-variable domains supplied on the command
     line (the mode in which the paper's microbenchmarks are run).
+
+The estimation/executor/store options shared by both commands live in one
+parent parser, so the two flag sets can never drift apart, and every
+``choices`` list is read live from the backend registries — methods,
+executors, and store backends registered through :mod:`repro.api` appear here
+without CLI edits.  ``--json`` on either command emits the versioned
+:class:`~repro.api.report.Report` schema instead of the text summary.
 """
 
 from __future__ import annotations
@@ -18,16 +26,18 @@ import argparse
 import sys
 from typing import Dict, Optional, Sequence
 
-from repro.analysis.pipeline import analyze_program
 from repro.analysis.results import convergence_table, reuse_summary
-from repro.core.importance import DEFAULT_MASS_SPLIT_BOXES, ESTIMATION_METHODS
+from repro.api import Report, Session
+from repro.core.importance import DEFAULT_MASS_SPLIT_BOXES
+from repro.core.methods import ESTIMATION_METHODS
 from repro.core.profiles import (
     Distribution,
     UniformDistribution,
     UsageProfile,
     parse_distribution_spec,
 )
-from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult
+from repro.core.qcoral import QCoralConfig
+from repro.core.stratified import ALLOCATION_POLICIES
 from repro.errors import ReproError
 from repro.exec.executor import EXECUTOR_KINDS
 from repro.lang.parser import parse_constraint_set
@@ -53,6 +63,11 @@ def _parse_domain(specs: Sequence[str]) -> Dict[str, Distribution]:
 
 
 def _config_from_args(args: argparse.Namespace) -> QCoralConfig:
+    """Compile the command-line flags down to the engine configuration.
+
+    Executor and store flags are *not* part of the config here: the session
+    owns those lifecycles (see :func:`_session_from_args`).
+    """
     return QCoralConfig(
         samples_per_query=args.samples,
         stratified=not args.no_strat,
@@ -65,73 +80,87 @@ def _config_from_args(args: argparse.Namespace) -> QCoralConfig:
         max_rounds=args.max_rounds,
         initial_fraction=args.initial_fraction,
         allocation=args.allocation,
+    )
+
+
+def _session_from_args(args: argparse.Namespace) -> Session:
+    """A session owning the executor/store the command line names."""
+    return Session(
         executor=args.executor,
         workers=args.workers,
-        store_path=args.store,
+        store=args.store,
         store_backend=args.store_backend,
         store_readonly=args.store_readonly,
     )
 
 
-def _add_common_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--samples", type=int, default=30_000, help="sampling budget per query")
-    parser.add_argument("--seed", type=int, default=None, help="random seed")
-    parser.add_argument("--no-strat", action="store_true", help="disable ICP stratified sampling")
-    parser.add_argument("--no-partcache", action="store_true", help="disable partitioning and caching")
-    parser.add_argument(
+def _common_parser() -> argparse.ArgumentParser:
+    """The estimation/executor/store options shared by both sub-commands."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--samples", type=int, default=30_000, help="sampling budget per query")
+    common.add_argument("--seed", type=int, default=None, help="random seed")
+    common.add_argument("--no-strat", action="store_true", help="disable ICP stratified sampling")
+    common.add_argument("--no-partcache", action="store_true", help="disable partitioning and caching")
+    common.add_argument(
         "--target-std",
         type=float,
         default=None,
         help="stop sampling once the combined standard deviation falls below this value",
     )
-    parser.add_argument(
+    common.add_argument(
         "--max-rounds",
         type=int,
         default=1,
         help="maximum adaptive sampling rounds (1 = the paper's one-shot behaviour)",
     )
-    parser.add_argument(
+    common.add_argument(
         "--initial-fraction",
         type=float,
         default=0.25,
         help="fraction of the budget spent in the pilot round of an adaptive run",
     )
-    parser.add_argument(
+    common.add_argument(
         "--method",
         choices=list(ESTIMATION_METHODS),
         default="hit-or-miss",
         help=(
             "estimation method: hit-or-miss (paper) or importance "
             "(mass-refined pavings, mass-aware allocation, self-normalised "
-            "combination — lower sigma on peaked profiles)"
+            "combination — lower sigma on peaked profiles); registered "
+            "methods appear here too"
         ),
     )
-    parser.add_argument(
+    common.add_argument(
         "--mass-split-boxes",
         type=int,
         default=DEFAULT_MASS_SPLIT_BOXES,
         metavar="N",
         help="stratum cap of the importance method's mass-driven paving refinement",
     )
-    parser.add_argument(
+    common.add_argument(
         "--mass-split-adaptive",
         type=int,
         default=0,
         metavar="N",
         help="extra adaptive splits the importance sampler may spend while sampling",
     )
-    parser.add_argument(
+    common.add_argument(
         "--allocation",
-        choices=["even", "neyman", "mass"],
+        choices=list(ALLOCATION_POLICIES),
         default="even",
         help="per-stratum budget split: even (paper), neyman (variance-driven), or mass",
     )
-    parser.add_argument(
+    common.add_argument(
         "--show-rounds",
         action="store_true",
         help="print the per-round convergence table of an adaptive run",
     )
-    parser.add_argument(
+    common.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the versioned Report JSON schema instead of the text summary",
+    )
+    common.add_argument(
         "--executor",
         choices=list(EXECUTOR_KINDS),
         default=None,
@@ -141,13 +170,13 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
             "every backend and worker count)"
         ),
     )
-    parser.add_argument(
+    common.add_argument(
         "--workers",
         type=int,
         default=None,
         help="worker count for --executor thread/process (default: CPU count)",
     )
-    parser.add_argument(
+    common.add_argument(
         "--store",
         metavar="PATH",
         default=None,
@@ -157,27 +186,28 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
             "merged back"
         ),
     )
-    parser.add_argument(
+    common.add_argument(
         "--store-backend",
         choices=list(STORE_BACKENDS),
         default=None,
         help="store backend (default: inferred from the path; .jsonl => jsonl, else sqlite)",
     )
-    parser.add_argument(
+    common.add_argument(
         "--store-readonly",
         action="store_true",
         help="reuse stored estimates but write nothing back",
     )
+    return common
 
 
-def _print_rounds(args: argparse.Namespace, result: QCoralResult) -> None:
-    if not result.round_reports:
+def _print_rounds(args: argparse.Namespace, report: Report) -> None:
+    if not report.round_reports:
         return
-    if args.show_rounds or result.config.target_std is not None:
-        print(convergence_table(result.round_reports).render())
-        if result.config.target_std is not None:
-            status = "met" if result.met_target else "NOT met (budget exhausted)"
-            print(f"target std:    {result.config.target_std:.3e} {status}")
+    if args.show_rounds or report.target_std is not None:
+        print(convergence_table(report.round_reports).render())
+        if report.target_std is not None:
+            status = "met" if report.met_target else "NOT met (budget exhausted)"
+            print(f"target std:    {report.target_std:.3e} {status}")
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
@@ -214,21 +244,25 @@ def _command_analyze(args: argparse.Namespace) -> int:
         }
         distributions.update(overrides)
         profile = UsageProfile(distributions)
-    result = analyze_program(source, args.event, profile=profile, config=config, max_depth=args.max_depth)
+    with _session_from_args(args) as session:
+        report = session.analyze(source, args.event, profile=profile, max_depth=args.max_depth, config=config).run()
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0
     print(f"event:        {args.event}")
-    print(f"paths:        {len(result.qcoral_result.path_reports)}")
-    print(f"probability:  {result.mean:.6f}")
-    print(f"std:          {result.std:.3e}")
-    if result.executor_label is not None:
-        print(f"executor:     {result.executor_label}")
-    if result.store_label is not None:
-        print(f"store:        {result.store_label}")
-        print(f"reuse:        {reuse_summary(result.cache_statistics)}")
-    if result.rounds > 1:
-        print(f"rounds:       {result.rounds}")
-    print(f"time:         {result.qcoral_result.analysis_time:.2f}s")
-    print(result.confidence_note)
-    _print_rounds(args, result.qcoral_result)
+    print(f"paths:        {report.paths}")
+    print(f"probability:  {report.mean:.6f}")
+    print(f"std:          {report.std:.3e}")
+    if report.executor is not None:
+        print(f"executor:     {report.executor}")
+    if report.store is not None:
+        print(f"store:        {report.store}")
+        print(f"reuse:        {reuse_summary(report.cache_statistics)}")
+    if report.rounds > 1:
+        print(f"rounds:       {report.rounds}")
+    print(f"time:         {report.analysis_time:.2f}s")
+    print(report.confidence_note)
+    _print_rounds(args, report)
     return 0
 
 
@@ -244,36 +278,40 @@ def _command_quantify(args: argparse.Namespace) -> int:
     constraint_set = parse_constraint_set(text)
     profile = UsageProfile(_parse_domain(args.domain))
     config = _config_from_args(args)
-    with QCoralAnalyzer(profile, config) as analyzer:
-        result = analyzer.analyze(constraint_set)
-    print(f"configuration: {config.feature_label()}")
-    print(f"paths:         {len(constraint_set)}")
-    print(f"probability:   {result.mean:.6f}")
-    print(f"std:           {result.std:.3e}")
-    print(f"samples:       {result.total_samples}")
-    if result.executor is not None:
-        print(f"executor:      {result.executor}")
-    if result.store is not None:
-        print(f"store:         {result.store}")
-    if result.rounds > 1:
-        print(f"rounds:        {result.rounds}")
-    print(f"time:          {result.analysis_time:.2f}s")
-    cache = result.cache_statistics
-    if cache.lookups:
+    with _session_from_args(args) as session:
+        report = session.quantify(constraint_set, profile, config=config).run()
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0
+    print(f"configuration: {report.feature_label}")
+    print(f"paths:         {report.paths}")
+    print(f"probability:   {report.mean:.6f}")
+    print(f"std:           {report.std:.3e}")
+    print(f"samples:       {report.total_samples}")
+    if report.executor is not None:
+        print(f"executor:      {report.executor}")
+    if report.store is not None:
+        print(f"store:         {report.store}")
+    if report.rounds > 1:
+        print(f"rounds:        {report.rounds}")
+    print(f"time:          {report.analysis_time:.2f}s")
+    cache = report.cache_statistics
+    if cache is not None and cache.lookups:
         print(f"reuse:         {reuse_summary(cache)}")
-    _print_rounds(args, result)
+    _print_rounds(args, report)
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the top-level argument parser."""
+    """Build the top-level argument parser (registry choices read live)."""
     parser = argparse.ArgumentParser(
         prog="qcoral",
         description="Compositional solution space quantification (PLDI 2014 reproduction)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    common = _common_parser()
 
-    analyze = subparsers.add_parser("analyze", help="analyze a mini-language program")
+    analyze = subparsers.add_parser("analyze", help="analyze a mini-language program", parents=[common])
     analyze.add_argument("program", help="path to the program source file")
     analyze.add_argument("event", help="target event name (or assert.violation)")
     analyze.add_argument("--max-depth", type=int, default=50, help="symbolic execution bound")
@@ -288,10 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
             "categorical:lo:w1,w2,..., or normal:mean:std:lo:hi"
         ),
     )
-    _add_common_options(analyze)
     analyze.set_defaults(handler=_command_analyze)
 
-    quantify = subparsers.add_parser("quantify", help="quantify a constraint set directly")
+    quantify = subparsers.add_parser("quantify", help="quantify a constraint set directly", parents=[common])
     quantify.add_argument("constraints", nargs="?", default="", help="constraint set text")
     quantify.add_argument("--constraints-file", help="file containing the constraint set")
     quantify.add_argument(
@@ -305,7 +342,6 @@ def build_parser() -> argparse.ArgumentParser:
             "categorical:lo:w1,w2,..., or normal:mean:std:lo:hi"
         ),
     )
-    _add_common_options(quantify)
     quantify.set_defaults(handler=_command_quantify)
 
     return parser

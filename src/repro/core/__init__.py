@@ -13,10 +13,11 @@ from repro.core.dependency import (
     partition_for_constraint_set,
 )
 from repro.core.estimate import Estimate, RunningEstimate, product_independent, sum_disjoint
-from repro.core.importance import (
+from repro.core.importance import ImportanceSampler, importance_sampling
+from repro.core.methods import (
     ESTIMATION_METHODS,
-    ImportanceSampler,
-    importance_sampling,
+    METHOD_REGISTRY,
+    EstimationMethod,
 )
 from repro.core.montecarlo import (
     SamplingResult,
@@ -74,6 +75,8 @@ __all__ = [
     "CategoricalDistribution",
     "parse_distribution_spec",
     "ESTIMATION_METHODS",
+    "METHOD_REGISTRY",
+    "EstimationMethod",
     "ImportanceSampler",
     "importance_sampling",
     "SamplingResult",

@@ -74,11 +74,6 @@ from repro.intervals.box import Box
 from repro.intervals.interval import Interval
 from repro.lang import ast
 
-#: Estimation methods the analyzer can run a factor with: the paper's
-#: hit-or-miss sampling inside ICP boxes, or the distribution-aware
-#: importance-sampling layer of this module.
-ESTIMATION_METHODS = ("hit-or-miss", "importance")
-
 #: Default cap on the number of strata after mass-driven refinement.
 DEFAULT_MASS_SPLIT_BOXES = 64
 
@@ -406,3 +401,14 @@ def importance_sampling(
     )
     sampler.extend(samples, allocation=allocation)
     return sampler.result()
+
+
+def __getattr__(name: str):
+    # Historical import location: the method-name tuple lived here before the
+    # estimation-method registry (repro.core.methods) replaced it.  Resolved
+    # lazily to avoid an import cycle (methods.py imports this module).
+    if name == "ESTIMATION_METHODS":
+        from repro.core.methods import ESTIMATION_METHODS
+
+        return ESTIMATION_METHODS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,133 @@
+"""Estimation-method registry: pluggable sampler construction per method name.
+
+The analyzer used to hardcode its two estimation methods — the paper's
+hit-or-miss sampling and the distribution-aware importance-sampling layer —
+as an if/elif over :data:`ESTIMATION_METHODS`.  This module turns the method
+name into a registry lookup so new estimation methods can be registered
+(:func:`repro.api.register_method`) without touching
+:mod:`repro.core.qcoral`.
+
+An :class:`EstimationMethod` bundles everything the analyzer needs to know
+about one method:
+
+* ``make_sampler`` — how to build the resumable per-factor sampler;
+* ``store_method`` — the persistent-store method tag, which keys counts apart
+  so methods with different sampling semantics never pool their Bernoulli
+  counts (see :mod:`repro.store.keys`);
+* ``requires_stratified`` / ``adaptive`` — the configuration constraints the
+  method imposes (importance sampling refines ICP pavings, so it needs the
+  STRAT feature, and mass-aware allocation needs the adaptive round loop);
+* ``feature`` — the optional tag the method contributes to
+  :meth:`QCoralConfig.feature_label` (``IMP`` for importance sampling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.importance import ImportanceSampler
+from repro.core.profiles import UsageProfile
+from repro.core.stratified import StratifiedSampler
+from repro.exec.seeds import SeedStream
+from repro.icp.solver import ICPSolver
+from repro.lang import ast
+from repro.registry import Registry
+from repro.store.keys import importance_method, stratified_method
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.qcoral import QCoralConfig
+
+#: Signature every registered sampler factory must satisfy; ``config`` is the
+#: run's :class:`~repro.core.qcoral.QCoralConfig`, from which method-specific
+#: knobs (e.g. ``mass_split_boxes``) are read.
+SamplerFactory = Callable[..., StratifiedSampler]
+
+
+@dataclass(frozen=True)
+class EstimationMethod:
+    """One pluggable estimation method of the stratified sampling layer."""
+
+    name: str
+    make_sampler: SamplerFactory
+    store_method: Callable[["QCoralConfig"], str]
+    requires_stratified: bool = False
+    adaptive: bool = False
+    feature: Optional[str] = None
+
+
+#: Registry of estimation methods: name → :class:`EstimationMethod`.
+METHOD_REGISTRY: "Registry[EstimationMethod]" = Registry("estimation method")
+
+#: Method names accepted throughout the stack (config, CLI).  A live view of
+#: :data:`METHOD_REGISTRY` — registered methods appear here too.
+ESTIMATION_METHODS = METHOD_REGISTRY.view()
+
+
+def _make_hit_or_miss(
+    factor: ast.PathCondition,
+    profile: UsageProfile,
+    rng: Optional[np.random.Generator],
+    *,
+    variables: Sequence[str],
+    solver: ICPSolver,
+    seed_stream: Optional[SeedStream],
+    chunk_size: Optional[int],
+    config: "QCoralConfig",
+) -> StratifiedSampler:
+    return StratifiedSampler(
+        factor,
+        profile,
+        rng,
+        variables=variables,
+        solver=solver,
+        seed_stream=seed_stream,
+        chunk_size=chunk_size,
+    )
+
+
+def _make_importance(
+    factor: ast.PathCondition,
+    profile: UsageProfile,
+    rng: Optional[np.random.Generator],
+    *,
+    variables: Sequence[str],
+    solver: ICPSolver,
+    seed_stream: Optional[SeedStream],
+    chunk_size: Optional[int],
+    config: "QCoralConfig",
+) -> StratifiedSampler:
+    return ImportanceSampler(
+        factor,
+        profile,
+        rng,
+        variables=variables,
+        solver=solver,
+        seed_stream=seed_stream,
+        chunk_size=chunk_size,
+        max_boxes=config.mass_split_boxes,
+        adaptive_splits=config.mass_split_adaptive,
+    )
+
+
+METHOD_REGISTRY.register(
+    "hit-or-miss",
+    EstimationMethod(
+        name="hit-or-miss",
+        make_sampler=_make_hit_or_miss,
+        store_method=lambda config: stratified_method(config.icp),
+    ),
+)
+METHOD_REGISTRY.register(
+    "importance",
+    EstimationMethod(
+        name="importance",
+        make_sampler=_make_importance,
+        store_method=lambda config: importance_method(config.icp, config.mass_split_boxes),
+        requires_stratified=True,
+        adaptive=True,
+        feature="IMP",
+    ),
+)

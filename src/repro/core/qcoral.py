@@ -48,11 +48,8 @@ from repro.core.composition import (
 )
 from repro.core.dependency import DependencyPartition, compute_dependency_partition
 from repro.core.estimate import Estimate
-from repro.core.importance import (
-    DEFAULT_MASS_SPLIT_BOXES,
-    ESTIMATION_METHODS,
-    ImportanceSampler,
-)
+from repro.core.importance import DEFAULT_MASS_SPLIT_BOXES
+from repro.core.methods import ESTIMATION_METHODS, METHOD_REGISTRY
 from repro.core.montecarlo import SamplingResult, hit_or_miss
 from repro.core.profiles import UsageProfile
 from repro.core.stratified import (
@@ -73,13 +70,7 @@ from repro.lang.compiler import compile_path_condition
 from repro.lang.simplify import simplify_path_condition
 from repro.store.backends import STORE_BACKENDS, EstimateStore, open_store
 from repro.store.entry import StoreEntry
-from repro.store.keys import (
-    FactorKey,
-    StoreContext,
-    importance_method,
-    mc_method,
-    stratified_method,
-)
+from repro.store.keys import FactorKey, StoreContext, mc_method
 
 #: Rounds used when an adaptive feature is requested without an explicit
 #: ``max_rounds`` (pilot + re-allocation rounds).
@@ -192,15 +183,16 @@ class QCoralConfig:
             )
         if self.method not in ESTIMATION_METHODS:
             raise ConfigurationError(f"unknown estimation method {self.method!r}; expected one of {ESTIMATION_METHODS}")
-        if self.method == "importance" and not self.stratified:
-            raise ConfigurationError("the importance method refines ICP pavings and requires stratified=True")
+        method_spec = METHOD_REGISTRY.get(self.method)
+        if method_spec.requires_stratified and not self.stratified:
+            raise ConfigurationError(f"the {self.method} method refines ICP pavings and requires stratified=True")
         if self.mass_split_boxes < 1:
             raise ConfigurationError("mass_split_boxes must be at least 1")
         if self.mass_split_adaptive < 0:
             raise ConfigurationError("mass_split_adaptive may not be negative")
-        if self.method == "importance" and self.allocation == "even":
-            # Mass-aware budget allocation is the point of the method; the
-            # paper's equal split would waste the refined paving.
+        if method_spec.adaptive and self.allocation == "even":
+            # Variance/mass-aware budget allocation is the point of adaptive
+            # methods; the paper's equal split would waste the refined paving.
             object.__setattr__(self, "allocation", "neyman")
         if self.executor is not None and self.executor not in EXECUTOR_KINDS:
             raise ConfigurationError(f"unknown executor kind {self.executor!r}; expected one of {EXECUTOR_KINDS}")
@@ -215,9 +207,7 @@ class QCoralConfig:
         if self.store_readonly and not self.wants_store:
             raise ConfigurationError("store_readonly requires a store path or backend")
         if self.max_rounds == 1 and (
-            self.target_std is not None
-            or self.allocation == "neyman"
-            or self.method == "importance"
+            self.target_std is not None or self.allocation == "neyman" or method_spec.adaptive
         ):
             # An adaptive feature without rounds cannot act; give it rounds.
             object.__setattr__(self, "max_rounds", DEFAULT_ADAPTIVE_ROUNDS)
@@ -305,8 +295,9 @@ class QCoralConfig:
             features.append("PARTCACHE")
         if self.is_adaptive:
             features.append("ADAPT")
-        if self.method == "importance":
-            features.append("IMP")
+        method_feature = METHOD_REGISTRY.get(self.method).feature
+        if method_feature:
+            features.append(method_feature)
         return "qCORAL{" + ",".join(features) + "}"
 
     def with_samples(self, samples: int) -> "QCoralConfig":
@@ -548,13 +539,12 @@ class QCoralAnalyzer:
         if self._store is not None and config.partition_and_cache:
             if not config.stratified:
                 method = mc_method()
-            elif config.method == "importance":
-                # Importance-sampled counts live over a mass-refined paving
-                # and must never pool with hit-or-miss counts; the method tag
-                # keys them apart by construction.
-                method = importance_method(config.icp, config.mass_split_boxes)
             else:
-                method = stratified_method(config.icp)
+                # Each registered estimation method supplies its own store
+                # tag, keying its counts apart from every other method's (an
+                # importance-sampled count over a mass-refined paving must
+                # never pool with a hit-or-miss count, by construction).
+                method = METHOD_REGISTRY.get(config.method).store_method(config)
             context = StoreContext(profile, method)
             self._cache = EstimateCache(self._store, context)
         else:
@@ -562,6 +552,7 @@ class QCoralAnalyzer:
             # feature there is no canonical factor to key, so the store — if
             # one was passed — stays idle.
             self._cache = EstimateCache()
+        self._closed = False
 
     @property
     def profile(self) -> UsageProfile:
@@ -595,11 +586,22 @@ class QCoralAnalyzer:
         self._rng = np.random.default_rng(effective)
         self._seed_stream = SeedStream(effective)
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
     def close(self) -> None:
         """Release executor/store resources this analyzer created.
 
-        Borrowed executors and store handles stay open for their owner.
+        Idempotent: the second and later calls are no-ops, so nested
+        context-manager entry (or an explicit ``close`` followed by ``with``)
+        never double-closes a resource.  Borrowed executors and store handles
+        stay open for their owner in every case.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self._owns_executor and self._executor is not None:
             self._executor.close()
         if self._owns_store and self._store is not None:
@@ -615,7 +617,27 @@ class QCoralAnalyzer:
     # Algorithm 1: main loop over the disjoint path conditions
     # ------------------------------------------------------------------ #
     def analyze(self, constraint_set: ast.ConstraintSet) -> QCoralResult:
-        """Quantify the probability of satisfying any PC of ``constraint_set``."""
+        """Quantify the probability of satisfying any PC of ``constraint_set``.
+
+        Blocking form of :meth:`analyze_stream` — it drains the same round
+        generator, so the two are bit-identical for a fixed seed.
+        """
+        return _drain(self.analyze_stream(constraint_set))
+
+    def analyze_stream(self, constraint_set: ast.ConstraintSet):
+        """Incremental form of :meth:`analyze`: a generator over the rounds.
+
+        Yields the :class:`RoundReport` of every sampling round as it
+        completes, then returns the final :class:`QCoralResult` as the
+        generator's return value (``StopIteration.value``, or ``yield from``).
+        After any yield the consumer may ``send(True)`` to stop sampling
+        early; the analysis then finalises with the rounds drawn so far —
+        exactly as if the convergence target had been met there.  Cache
+        inserts and persistent-store write-back happen in the finalisation,
+        so early-stopped runs still publish what they drew — including runs
+        whose stream is abandoned outright (closed or garbage-collected
+        without reading a final result): those flush on ``GeneratorExit``.
+        """
         started = time.perf_counter()
         self._profile.check_covers(constraint_set.free_variables())
 
@@ -626,8 +648,28 @@ class QCoralAnalyzer:
 
         partition = self._partition_for(path_conditions)
         plan, states = self._build_plan(path_conditions, partition)
-        round_reports = self._run_rounds(plan, states)
 
+        try:
+            rounds = yield from self._round_loop(plan, states)
+        except GeneratorExit:
+            # The consumer abandoned the stream without asking for a result;
+            # still flush caches/stores with what was drawn (best-effort —
+            # whoever closed us cannot handle errors raised from here).
+            try:
+                self._finalize(plan, states, (), started)
+            except Exception:
+                pass
+            raise
+        return self._finalize(plan, states, rounds, started)
+
+    def _finalize(
+        self,
+        plan: Sequence[Tuple[ast.PathCondition, List[Tuple["_FactorState", bool]]]],
+        states: Sequence["_FactorState"],
+        round_reports: Tuple[RoundReport, ...],
+        started: float,
+    ) -> QCoralResult:
+        """Assemble the result and flush caches/stores after the round loop."""
         reports = []
         total_samples = 0
         for pc, occurrences in plan:
@@ -747,28 +789,18 @@ class QCoralAnalyzer:
             # factor's — and of the backend executing them.
             state.stream = self._seed_stream.spawn(1)[0]
         if self._config.stratified:
-            if self._config.method == "importance":
-                sampler: StratifiedSampler = ImportanceSampler(
-                    factor,
-                    self._profile,
-                    None if parallel else self._rng,
-                    variables=variables,
-                    solver=self._solver,
-                    seed_stream=state.stream,
-                    chunk_size=self._config.chunk_size,
-                    max_boxes=self._config.mass_split_boxes,
-                    adaptive_splits=self._config.mass_split_adaptive,
-                )
-            else:
-                sampler = StratifiedSampler(
-                    factor,
-                    self._profile,
-                    None if parallel else self._rng,
-                    variables=variables,
-                    solver=self._solver,
-                    seed_stream=state.stream,
-                    chunk_size=self._config.chunk_size,
-                )
+            # The registered method spec owns sampler construction, so new
+            # estimation methods plug in without edits here.
+            sampler: StratifiedSampler = METHOD_REGISTRY.get(self._config.method).make_sampler(
+                factor,
+                self._profile,
+                None if parallel else self._rng,
+                variables=variables,
+                solver=self._solver,
+                seed_stream=state.stream,
+                chunk_size=self._config.chunk_size,
+                config=self._config,
+            )
             if sampler.is_exact:
                 state.exact = sampler.estimate()
             else:
@@ -922,6 +954,21 @@ class QCoralAnalyzer:
         plan: Sequence[Tuple[ast.PathCondition, List[Tuple[_FactorState, bool]]]],
         states: Sequence[_FactorState],
     ) -> Tuple[RoundReport, ...]:
+        """Drain :meth:`_round_loop` to completion (the blocking path)."""
+        return _drain(self._round_loop(plan, states))
+
+    def _round_loop(
+        self,
+        plan: Sequence[Tuple[ast.PathCondition, List[Tuple[_FactorState, bool]]]],
+        states: Sequence[_FactorState],
+    ):
+        """Generator over the adaptive sampling rounds, yielding each report.
+
+        ``send(True)`` after a yield stops the loop before the next round
+        (the streaming early-stop); plain iteration runs to the budget or the
+        convergence target, exactly as before the generator refactor.  The
+        generator's return value is the tuple of all reports yielded.
+        """
         active = [state for state in states if state.sampleable]
         if not active:
             return ()
@@ -974,7 +1021,11 @@ class QCoralAnalyzer:
             spent += used
 
             combined = self._combined_estimate(plan)
-            rounds.append(RoundReport(round_index, used, spent, combined))
+            report = RoundReport(round_index, used, spent, combined)
+            rounds.append(report)
+            stop = yield report
+            if stop:
+                break
             if config.target_std is not None and combined.std <= config.target_std:
                 break
             if used == 0:
@@ -1139,6 +1190,15 @@ class QCoralAnalyzer:
         return PathConditionReport(pc, estimate, tuple(factor_reports))
 
 
+def _drain(stream):
+    """Run a generator to completion and return its ``StopIteration`` value."""
+    while True:
+        try:
+            next(stream)
+        except StopIteration as finished:
+            return finished.value
+
+
 def quantify(
     constraint_set: ast.ConstraintSet,
     profile: UsageProfile,
@@ -1146,7 +1206,9 @@ def quantify(
 ) -> QCoralResult:
     """One-shot convenience wrapper around :class:`QCoralAnalyzer`.
 
-    Any executor pool the configuration requests is shut down on return.
+    Deprecated entry point: prefer ``Session().quantify(...).run()`` from
+    :mod:`repro.api`.  Any executor pool the configuration requests is shut
+    down on return.
     """
     with QCoralAnalyzer(profile, config) as analyzer:
         return analyzer.analyze(constraint_set)

@@ -15,6 +15,7 @@ package supplies the three pieces needed to exploit that:
 
 from repro.exec.executor import (
     EXECUTOR_KINDS,
+    EXECUTOR_REGISTRY,
     Executor,
     ProcessPoolExecutor,
     SerialExecutor,
@@ -38,6 +39,7 @@ __all__ = [
     "ThreadPoolExecutor",
     "ProcessPoolExecutor",
     "EXECUTOR_KINDS",
+    "EXECUTOR_REGISTRY",
     "default_worker_count",
     "make_executor",
     "resolve_executor",

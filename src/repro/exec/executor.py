@@ -23,12 +23,18 @@ import os
 from typing import Callable, List, Optional, Sequence, TypeVar, Union
 
 from repro.errors import ConfigurationError
+from repro.registry import Registry
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
 
-#: Executor kind names accepted throughout the stack (config, CLI).
-EXECUTOR_KINDS = ("serial", "thread", "process")
+#: Registry of executor factories: kind name → ``factory(workers) -> Executor``.
+#: Extend through :func:`repro.api.register_executor` rather than core edits.
+EXECUTOR_REGISTRY: "Registry[Callable[[Optional[int]], Executor]]" = Registry("executor kind")
+
+#: Executor kind names accepted throughout the stack (config, CLI).  A live
+#: view of :data:`EXECUTOR_REGISTRY` — registered backends appear here too.
+EXECUTOR_KINDS = EXECUTOR_REGISTRY.view()
 
 
 def default_worker_count() -> int:
@@ -133,19 +139,19 @@ class ProcessPoolExecutor(_PooledExecutor):
         return _futures.ProcessPoolExecutor(max_workers=self._workers)
 
 
+EXECUTOR_REGISTRY.register("serial", lambda workers=None: SerialExecutor())
+EXECUTOR_REGISTRY.register("thread", ThreadPoolExecutor)
+EXECUTOR_REGISTRY.register("process", ProcessPoolExecutor)
+
+
 def make_executor(kind: str, workers: Optional[int] = None) -> Executor:
-    """Build an executor backend by kind name.
+    """Build an executor backend by kind name (resolved via the registry).
 
     ``workers`` defaults to the CPU count for pooled backends and is ignored
     by the serial backend.
     """
-    if kind == "serial":
-        return SerialExecutor()
-    if kind == "thread":
-        return ThreadPoolExecutor(workers)
-    if kind == "process":
-        return ProcessPoolExecutor(workers)
-    raise ConfigurationError(f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}")
+    factory = EXECUTOR_REGISTRY.get(kind)
+    return factory(workers)
 
 
 def resolve_executor(spec: Union[None, str, Executor], workers: Optional[int] = None) -> Optional[Executor]:

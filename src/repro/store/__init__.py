@@ -18,6 +18,7 @@ Entries hold raw Bernoulli counts rather than finished estimates, so
 
 from repro.store.backends import (
     STORE_BACKENDS,
+    STORE_REGISTRY,
     EstimateStore,
     JsonlStore,
     MemoryStore,
@@ -42,6 +43,7 @@ __all__ = [
     "SqliteStore",
     "StoreStatistics",
     "STORE_BACKENDS",
+    "STORE_REGISTRY",
     "open_store",
     "StoreEntry",
     "FactorKey",

@@ -29,12 +29,20 @@ import os
 import sqlite3
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.registry import Registry
 from repro.store.entry import StoreEntry, StoreError
 
-#: Backend names accepted throughout the stack (config, CLI).
-STORE_BACKENDS = ("memory", "jsonl", "sqlite")
+#: Registry of store factories: backend name → ``factory(path, readonly=...)``.
+#: Extend through :func:`repro.api.register_store_backend` rather than core
+#: edits (custom backends are reachable by explicit name; path-suffix
+#: inference in :func:`open_store` stays limited to the builtins).
+STORE_REGISTRY: "Registry[Callable[..., EstimateStore]]" = Registry("store backend")
+
+#: Backend names accepted throughout the stack (config, CLI).  A live view of
+#: :data:`STORE_REGISTRY` — registered backends appear here too.
+STORE_BACKENDS = STORE_REGISTRY.view()
 
 
 @dataclass
@@ -364,6 +372,21 @@ class SqliteStore(EstimateStore):
             super().close()
 
 
+def _require_path(path: Optional[str], backend: str) -> str:
+    if path is None or path == ":memory:":
+        raise StoreError(f"the {backend} backend needs a file path")
+    return path
+
+
+STORE_REGISTRY.register("memory", lambda path, readonly=False: MemoryStore(readonly=readonly))
+STORE_REGISTRY.register(
+    "jsonl", lambda path, readonly=False: JsonlStore(_require_path(path, "jsonl"), readonly=readonly)
+)
+STORE_REGISTRY.register(
+    "sqlite", lambda path, readonly=False: SqliteStore(_require_path(path, "sqlite"), readonly=readonly)
+)
+
+
 def open_store(
     path: Optional[str],
     backend: Optional[str] = None,
@@ -373,7 +396,8 @@ def open_store(
 
     ``None`` or ``":memory:"`` paths open a :class:`MemoryStore`; a ``.jsonl``
     extension selects the JSONL log; anything else defaults to SQLite (the
-    concurrency-safe choice).  An explicit ``backend`` overrides inference.
+    concurrency-safe choice).  An explicit ``backend`` overrides inference and
+    may name any backend registered in :data:`STORE_REGISTRY`.
     """
     if backend is not None and backend not in STORE_BACKENDS:
         raise StoreError(f"unknown store backend {backend!r}; expected one of {STORE_BACKENDS}")
@@ -384,10 +408,5 @@ def open_store(
             backend = "jsonl"
         else:
             backend = "sqlite"
-    if backend == "memory":
-        return MemoryStore(readonly=readonly)
-    if path is None or path == ":memory:":
-        raise StoreError(f"the {backend} backend needs a file path")
-    if backend == "jsonl":
-        return JsonlStore(path, readonly=readonly)
-    return SqliteStore(path, readonly=readonly)
+    factory = STORE_REGISTRY.get(backend)
+    return factory(path, readonly=readonly)

@@ -1,0 +1,540 @@
+"""Tests of the Session/Query/Report facade and the backend registries."""
+
+import pytest
+
+from repro.analysis.pipeline import ProbabilisticAnalysisPipeline, analyze_program
+from repro.analysis.runner import repeat_quantification
+from repro.api import (
+    Query,
+    Report,
+    Session,
+    register_executor,
+    register_method,
+    register_store_backend,
+    unregister_executor,
+    unregister_method,
+    unregister_store_backend,
+)
+from repro.cli import build_parser, main
+from repro.core.methods import ESTIMATION_METHODS, METHOD_REGISTRY
+from repro.core.profiles import UniformDistribution, UsageProfile
+from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, quantify
+from repro.core.stratified import StratifiedSampler
+from repro.errors import AnalysisError, ConfigurationError
+from repro.exec.executor import EXECUTOR_KINDS, SerialExecutor, make_executor
+from repro.lang.parser import parse_constraint_set
+from repro.store.backends import STORE_BACKENDS, MemoryStore, open_store
+from repro.subjects import programs
+
+TRIANGLE = "x <= 0 - y && y <= x"
+BOUNDS = {"x": (-1.0, 1.0), "y": (-1.0, 1.0)}
+
+
+def triangle_profile():
+    return UsageProfile.uniform({"x": (-1, 1), "y": (-1, 1)})
+
+
+class TestQueryBuilder:
+    def test_fluent_methods_return_new_queries(self):
+        with Session() as session:
+            base = session.quantify(TRIANGLE, BOUNDS)
+            refined = base.with_budget(5000).seed(7).until(std=1e-3, rounds=4)
+            assert refined is not base
+            assert base.compile().samples_per_query == QCoralConfig().samples_per_query
+            config = refined.compile()
+            assert config.samples_per_query == 5000
+            assert config.seed == 7
+            assert config.target_std == 1e-3
+            assert config.max_rounds == 4
+
+    def test_compile_applies_engine_invariants(self):
+        with Session() as session:
+            config = session.quantify(TRIANGLE, BOUNDS).method("importance").compile()
+            # The engine's auto-upgrades run through the facade unchanged.
+            assert config.allocation == "neyman"
+            assert config.max_rounds > 1
+
+    def test_configure_rejects_unknown_fields(self):
+        with Session() as session:
+            with pytest.raises(ConfigurationError):
+                session.quantify(TRIANGLE, BOUNDS).configure(no_such_knob=1)
+
+    def test_until_needs_an_argument(self):
+        with Session() as session:
+            with pytest.raises(ConfigurationError):
+                session.quantify(TRIANGLE, BOUNDS).until()
+
+    def test_profile_coercion(self):
+        with Session() as session:
+            query = session.quantify(
+                "x >= 0 && n <= 3 && z <= 0.5",
+                {"x": (-1.0, 1.0), "n": "int:0:10", "z": UniformDistribution(0, 1)},
+            )
+            report = query.with_budget(2000).seed(1).run()
+            assert 0.0 <= report.mean <= 1.0
+
+    def test_quantify_without_profile_fails_at_run(self):
+        with Session() as session:
+            query = session.quantify(TRIANGLE)
+            with pytest.raises(ConfigurationError):
+                query.run()
+
+    def test_features_toggle(self):
+        with Session() as session:
+            config = session.quantify(TRIANGLE, BOUNDS).features(stratified=False, partition_and_cache=False).compile()
+            assert not config.stratified and not config.partition_and_cache
+            with pytest.raises(ConfigurationError):
+                session.quantify(TRIANGLE, BOUNDS).features()
+
+
+class TestRunAndStream:
+    def test_run_matches_legacy_quantify_bit_for_bit(self):
+        config = QCoralConfig.strat_partcache(4000, seed=11)
+        legacy = quantify(parse_constraint_set(TRIANGLE), triangle_profile(), config)
+        with Session() as session:
+            report = session.quantify(TRIANGLE, BOUNDS, config=config).run()
+        assert report.mean == legacy.mean
+        assert report.std == legacy.std
+        assert report.total_samples == legacy.total_samples
+
+    def test_stream_yields_the_same_rounds_as_run(self):
+        with Session() as session:
+            query = session.quantify(TRIANGLE, BOUNDS).with_budget(4000).seed(2).until(std=1e-4, rounds=5)
+            streamed = [(r.round_index, r.mean, r.std) for r in query.stream()]
+            report = query.run()
+        assert streamed == [(r.round_index, r.mean, r.std) for r in report.round_reports]
+        assert len(streamed) > 1
+
+    def test_stream_early_stop(self):
+        with Session() as session:
+            query = session.quantify(TRIANGLE, BOUNDS).with_budget(4000).seed(2).until(rounds=5)
+            stream = query.stream()
+            first = next(stream)
+            assert first.round_index == 1
+            stream.stop()
+            report = stream.report
+        # Stopping after the first yield finalises with the rounds drawn so far.
+        assert report.rounds == 1
+        assert report.round_reports[0].mean == first.mean
+        assert report.total_samples == first.total_samples
+
+    def test_stream_report_without_stop_finalises_early(self):
+        with Session() as session:
+            query = session.quantify(TRIANGLE, BOUNDS).with_budget(4000).seed(2).until(rounds=5)
+            stream = query.stream()
+            next(stream)
+            next(stream)
+            report = stream.report  # implicit early stop
+        assert report.rounds == 2
+
+    def test_abandoned_stream_still_flushes_the_store(self):
+        # Breaking out and closing the stream (no .report) must still publish
+        # the drawn samples: the engine finalises on GeneratorExit.
+        store = MemoryStore()
+        with Session(store=store) as session:
+            query = session.quantify(TRIANGLE, BOUNDS).with_budget(4000).seed(2).until(rounds=5)
+            stream = query.stream()
+            next(stream)
+            stream.close()
+            assert len(store) > 0
+            assert store.statistics.writes > 0
+
+    def test_closed_stream_stops_iterating(self):
+        with Session() as session:
+            stream = session.quantify(TRIANGLE, BOUNDS).with_budget(2000).seed(1).stream()
+            stream.close()
+            assert list(stream) == []
+            with pytest.raises(AnalysisError):
+                stream.report
+
+    def test_program_query_matches_legacy_pipeline(self):
+        config = QCoralConfig.strat_partcache(3000, seed=5)
+        legacy = analyze_program(programs.SAFETY_MONITOR, programs.SAFETY_MONITOR_EVENT, config=config)
+        with Session() as session:
+            report = session.analyze(programs.SAFETY_MONITOR, programs.SAFETY_MONITOR_EVENT, config=config).run()
+        assert report.kind == "program"
+        assert report.event == programs.SAFETY_MONITOR_EVENT
+        assert report.mean == legacy.mean
+        assert report.std == legacy.std
+        assert report.bounded.mean == legacy.bounded_probability.mean
+
+    def test_stopped_program_stream_skips_the_bounded_analysis(self):
+        source = """
+        input x in [0.01, 1];
+        total = 0;
+        while (total <= 3) { total = total + x; }
+        observe(done);
+        """
+        with Session() as session:
+            query = session.analyze(source, "done", max_depth=8).with_budget(4000).seed(4).until(rounds=4)
+            # Full run: the bound-hitting mass is quantified (it is positive here).
+            full = query.run()
+            assert full.bounded is not None and full.bounded.mean > 0.0
+            # Cancelled run: the bounded analysis must not run to full budget
+            # behind the caller's back; the unknown mass is reported as None.
+            stream = query.stream()
+            next(stream)
+            stream.stop()
+            partial = stream.report
+        assert partial.rounds == 1
+        assert partial.bounded is None
+        assert partial.confidence_note == ""
+
+    def test_program_query_unknown_event(self):
+        with Session() as session:
+            query = session.analyze(programs.SAFETY_MONITOR, "noSuchEvent", config=QCoralConfig.plain(100))
+            with pytest.raises(AnalysisError):
+                query.run()
+
+    def test_repeat_matches_repeat_quantification(self):
+        config = QCoralConfig.strat_partcache(1500)
+        constraint_set = parse_constraint_set(TRIANGLE)
+        legacy = repeat_quantification(
+            lambda seed: quantify(constraint_set, triangle_profile(), config.with_seed(seed)),
+            runs=3,
+            base_seed=9,
+        )
+        with Session() as session:
+            report = session.quantify(TRIANGLE, BOUNDS, config=config).repeat(runs=3, base_seed=9)
+        assert report.kind == "repeated"
+        assert report.mean == legacy.mean_estimate
+        assert report.std == pytest.approx(legacy.empirical_std)
+        assert [t.estimate for t in report.trials] == [t.estimate for t in legacy.outcomes]
+        # The repeated report keeps the trials' shared configuration metadata.
+        assert report.method == "hit-or-miss"
+        assert report.feature_label == "qCORAL{STRAT,PARTCACHE}"
+
+    def test_report_drilldown_fields(self):
+        with Session() as session:
+            report = session.quantify(TRIANGLE, BOUNDS).with_budget(2000).seed(1).run()
+        assert report.paths == len(report.path_reports) == 1
+        assert report.feature_label == "qCORAL{STRAT,PARTCACHE}"
+        assert report.cache_statistics is not None
+
+
+class CountingExecutor(SerialExecutor):
+    """Serial backend that counts close() calls (lifecycle assertions)."""
+
+    def __init__(self):
+        self.closes = 0
+
+    def close(self):
+        self.closes += 1
+
+
+class CountingStore(MemoryStore):
+    def __init__(self):
+        super().__init__()
+        self.closes = 0
+
+    def close(self):
+        self.closes += 1
+        super().close()
+
+
+class TestLifecycles:
+    def test_session_owns_named_executor(self):
+        session = Session(executor="serial")
+        first = session.executor
+        assert first is session.executor  # lazily built once
+        session.close()
+        session.close()  # idempotent
+        assert session.closed
+        with pytest.raises(ConfigurationError):
+            session.quantify(TRIANGLE, BOUNDS)
+
+    def test_explicit_config_executor_beats_the_session_executor(self):
+        # A backend named in the base config is an explicit request: it must
+        # run there (analyzer-owned), not silently on the session's backend.
+        config = QCoralConfig(samples_per_query=1000, seed=1, executor="thread", workers=2)
+        with Session(executor="serial") as session:
+            report = session.quantify(TRIANGLE, BOUNDS, config=config).run()
+        assert report.executor == "thread×2"
+
+    def test_explicit_config_store_beats_the_session_store(self, tmp_path):
+        session_store = MemoryStore()
+        config = QCoralConfig(samples_per_query=1000, seed=1).with_store(str(tmp_path / "own.jsonl"))
+        with Session(store=session_store) as session:
+            report = session.quantify(TRIANGLE, BOUNDS, config=config).run()
+        assert report.store == "jsonl:own.jsonl"
+        assert len(session_store) == 0  # nothing leaked into the session store
+
+    def test_failed_stream_report_names_the_real_cause(self):
+        with Session() as session:
+            # Profile misses 'y': the engine fails on the first round.
+            stream = session.quantify(TRIANGLE, {"x": (-1.0, 1.0)}).with_budget(500).stream()
+            with pytest.raises(Exception):
+                next(stream)
+            with pytest.raises(AnalysisError, match="already failed"):
+                stream.report
+
+    def test_session_borrows_executor_instances(self):
+        pool = CountingExecutor()
+        with Session(executor=pool) as session:
+            report = session.quantify(TRIANGLE, BOUNDS).with_budget(1000).seed(1).run()
+            assert report.executor == "serial"
+        session.close()
+        assert pool.closes == 0  # borrowed, never closed by the session
+
+    def test_session_borrows_store_instances(self):
+        store = CountingStore()
+        with Session(store=store) as session:
+            report = session.quantify(TRIANGLE, BOUNDS).with_budget(1000).seed(1).run()
+            assert report.store == "memory"
+        assert store.closes == 0
+        assert len(store) > 0  # the query actually published through it
+
+    def test_session_shares_store_across_queries(self):
+        store = MemoryStore()
+        with Session(store=store) as session:
+            cold = session.quantify(TRIANGLE, BOUNDS).with_budget(2000).seed(3).run()
+            warm = session.quantify(TRIANGLE, BOUNDS).with_budget(2000).seed(3).run()
+        assert cold.cache_statistics.warm_starts == 0
+        # The second query reuses the first one's published counts outright.
+        assert warm.total_samples == 0
+        assert warm.cache_statistics.store_hits > 0
+
+    def test_lazy_resources_are_created_once_under_concurrency(self):
+        # Regression: two threads racing session.executor/.store must share
+        # one instance (the loser of an unsynchronized race leaked a pool).
+        import threading
+
+        session = Session(executor="serial", store_backend="memory")
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def grab():
+            barrier.wait()
+            seen.append((session.executor, session.store))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(executor) for executor, _ in seen}) == 1
+        assert len({id(store) for _, store in seen}) == 1
+        session.close()
+
+    def test_session_validation(self):
+        with pytest.raises(ConfigurationError):
+            Session(workers=2)  # workers without a kind name
+        with pytest.raises(ConfigurationError):
+            Session(store_readonly=True)  # readonly without a store
+        with pytest.raises(ConfigurationError):
+            Session(store=MemoryStore(), store_backend="sqlite")
+        # Typo'd backend names fail at the construction site, not first use.
+        with pytest.raises(ConfigurationError):
+            Session(executor="proces")
+        with pytest.raises(ConfigurationError):
+            Session(store="x.db", store_backend="sqllite")
+
+    def test_profile_coercion_rejects_non_numeric_pairs(self):
+        with Session() as session:
+            with pytest.raises(ConfigurationError):
+                session.quantify(TRIANGLE, {"x": (0, "wide")})
+
+    def test_analyzer_close_is_idempotent(self):
+        analyzer = QCoralAnalyzer(triangle_profile(), QCoralConfig(executor="serial"))
+        assert not analyzer.closed
+        analyzer.close()
+        analyzer.close()
+        assert analyzer.closed
+
+    def test_analyzer_nested_context_entry_never_double_closes(self):
+        pool = CountingExecutor()
+        store = CountingStore()
+        analyzer = QCoralAnalyzer(triangle_profile(), QCoralConfig(), executor=pool, store=store)
+        with analyzer:
+            with analyzer:
+                pass
+            # Inner exit already closed; outer exit must be a no-op.
+            assert analyzer.closed
+        assert pool.closes == 0 and store.closes == 0  # borrowed
+
+    def test_pipeline_close_is_idempotent(self):
+        pool = CountingExecutor()
+        pipeline = ProbabilisticAnalysisPipeline(
+            programs.SAFETY_MONITOR, config=QCoralConfig.plain(200, seed=1), executor=pool
+        )
+        with pipeline:
+            with pipeline:
+                pipeline.analyze(programs.SAFETY_MONITOR_EVENT)
+        pipeline.close()
+        assert pipeline.closed
+        assert pool.closes == 0
+
+
+class TestRegistries:
+    def test_register_method_end_to_end(self):
+        def make_sampler(factor, profile, rng, *, variables, solver, seed_stream, chunk_size, config):
+            return StratifiedSampler(
+                factor,
+                profile,
+                rng,
+                variables=variables,
+                solver=solver,
+                seed_stream=seed_stream,
+                chunk_size=chunk_size,
+            )
+
+        register_method("strat-twin", make_sampler, requires_stratified=True, feature="TWIN")
+        try:
+            assert "strat-twin" in ESTIMATION_METHODS
+            config = QCoralConfig(samples_per_query=2000, seed=6, method="strat-twin")
+            assert "TWIN" in config.feature_label()
+            baseline = QCoralConfig(samples_per_query=2000, seed=6)
+            with Session() as session:
+                twin = session.quantify(TRIANGLE, BOUNDS, config=config).run()
+                reference = session.quantify(TRIANGLE, BOUNDS, config=baseline).run()
+            # Same sampler factory + same seed => identical numbers: the
+            # registry drives method resolution end to end.
+            assert twin.mean == reference.mean and twin.std == reference.std
+            # The CLI picks registered methods up through the live choices.
+            args = build_parser().parse_args(["quantify", "x >= 0", "--domain", "x=0:1", "--method", "strat-twin"])
+            assert args.method == "strat-twin"
+        finally:
+            unregister_method("strat-twin")
+        assert "strat-twin" not in ESTIMATION_METHODS
+        with pytest.raises(ConfigurationError):
+            QCoralConfig(method="strat-twin")
+
+    def test_registered_method_requires_stratified(self):
+        register_method("needs-strat", lambda *a, **k: None, requires_stratified=True)
+        try:
+            with pytest.raises(ConfigurationError):
+                QCoralConfig(method="needs-strat", stratified=False)
+        finally:
+            unregister_method("needs-strat")
+
+    def test_register_executor_end_to_end(self):
+        created = []
+
+        def factory(workers=None):
+            executor = SerialExecutor()
+            created.append(executor)
+            return executor
+
+        register_executor("recording-serial", factory)
+        try:
+            assert "recording-serial" in EXECUTOR_KINDS
+            assert isinstance(make_executor("recording-serial"), SerialExecutor)
+            config = QCoralConfig(samples_per_query=1000, seed=1, executor="recording-serial")
+            with Session(executor="recording-serial") as session:
+                report = session.quantify(TRIANGLE, BOUNDS, config=config.with_executor(None)).run()
+            assert report.executor == "serial"
+            assert len(created) == 2  # make_executor above + the session's
+        finally:
+            unregister_executor("recording-serial")
+        with pytest.raises(ConfigurationError):
+            QCoralConfig(executor="recording-serial")
+
+    def test_register_store_backend_end_to_end(self):
+        register_store_backend("scratch", lambda path, readonly=False: MemoryStore(readonly=readonly))
+        try:
+            assert "scratch" in STORE_BACKENDS
+            store = open_store(None, "scratch")
+            assert isinstance(store, MemoryStore)
+            with Session(store_backend="scratch") as session:
+                report = session.quantify(TRIANGLE, BOUNDS).with_budget(1000).seed(1).run()
+                assert report.store == "memory"
+        finally:
+            unregister_store_backend("scratch")
+
+    def test_unregister_unknown_name_raises_promptly(self):
+        # Regression: this used to deadlock (error message built while the
+        # registry lock was still held).
+        with pytest.raises(ConfigurationError):
+            unregister_method("never-registered")
+        with pytest.raises(ConfigurationError):
+            unregister_executor("never-registered")
+        with pytest.raises(ConfigurationError):
+            unregister_store_backend("never-registered")
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(ConfigurationError):
+            register_executor("serial", lambda workers=None: SerialExecutor())
+        # replace=True is the explicit override path.
+        original = METHOD_REGISTRY.get("hit-or-miss")
+        register_method(
+            "hit-or-miss",
+            original.make_sampler,
+            store_method=original.store_method,
+            requires_stratified=original.requires_stratified,
+            replace=True,
+        )
+        METHOD_REGISTRY.register("hit-or-miss", original, replace=True)
+
+    def test_builtin_registries_contents(self):
+        assert tuple(EXECUTOR_KINDS) == ("serial", "thread", "process")
+        assert tuple(STORE_BACKENDS) == ("memory", "jsonl", "sqlite")
+        assert tuple(ESTIMATION_METHODS) == ("hit-or-miss", "importance")
+        assert EXECUTOR_KINDS == ("serial", "thread", "process")
+
+
+class TestCliFacade:
+    def test_json_output_matches_report_schema(self, capsys):
+        exit_code = main(
+            [
+                "quantify",
+                TRIANGLE,
+                "--domain",
+                "x=-1:1",
+                "--domain",
+                "y=-1:1",
+                "--samples",
+                "2000",
+                "--seed",
+                "1",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        import json
+
+        payload = json.loads(captured.out)
+        with Session() as session:
+            report = session.quantify(TRIANGLE, BOUNDS, config=QCoralConfig.strat_partcache(2000, seed=1)).run()
+        expected = report.to_dict()
+        payload["time"] = expected["time"] = 0.0
+        assert payload == expected
+
+    def test_analyze_json_output(self, tmp_path, capsys):
+        program_file = tmp_path / "monitor.prog"
+        program_file.write_text(programs.SAFETY_MONITOR)
+        exit_code = main(
+            [
+                "analyze",
+                str(program_file),
+                programs.SAFETY_MONITOR_EVENT,
+                "--samples",
+                "1000",
+                "--seed",
+                "2",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        import json
+
+        payload = json.loads(captured.out)
+        assert payload["kind"] == "program"
+        assert payload["event"] == programs.SAFETY_MONITOR_EVENT
+        assert payload["bounded"] is not None
+
+
+class TestQueryRepr:
+    def test_query_is_a_frozen_dataclass(self):
+        with Session() as session:
+            query = session.quantify(TRIANGLE, BOUNDS)
+            assert isinstance(query, Query)
+            with pytest.raises(AttributeError):
+                query._settings = ()
+
+    def test_report_repr_mentions_kind(self):
+        with Session() as session:
+            report = session.quantify(TRIANGLE, BOUNDS).with_budget(500).seed(1).run()
+        assert isinstance(report, Report)
+        assert "kind='quantification'" in repr(report)

@@ -1,0 +1,115 @@
+"""Deprecation shims: old entry points warn but stay numerically identical.
+
+Every pre-facade entry point keeps working behind a :class:`DeprecationWarning`
+shim, and — because the facade compiles down to the very same engine — each
+old path must produce **bit-identical** fixed-seed results to its Session
+replacement.  These tests pin both halves of that contract.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.analysis
+from repro.api import Session
+from repro.core.qcoral import QCoralConfig
+from repro.core.profiles import UsageProfile
+from repro.lang.parser import parse_constraint_set
+from repro.subjects import programs
+
+TRIANGLE = "x <= 0 - y && y <= x"
+BOUNDS = {"x": (-1.0, 1.0), "y": (-1.0, 1.0)}
+
+
+def _deprecated(module, name):
+    """Resolve a deprecated attribute, asserting exactly one warning fires."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = getattr(module, name)
+    assert len(caught) == 1, f"{name} should warn exactly once, got {len(caught)}"
+    assert issubclass(caught[0].category, DeprecationWarning)
+    assert name in str(caught[0].message)
+    return value
+
+
+class TestWarningsFire:
+    @pytest.mark.parametrize(
+        "name",
+        ["quantify", "ProbabilisticAnalysisPipeline", "PipelineResult", "analyze_program", "repeat_quantification"],
+    )
+    def test_top_level_shims_warn(self, name):
+        value = _deprecated(repro, name)
+        assert value is not None
+
+    @pytest.mark.parametrize(
+        "name",
+        ["ProbabilisticAnalysisPipeline", "PipelineResult", "analyze_program", "repeat_quantification"],
+    )
+    def test_analysis_package_shims_warn(self, name):
+        value = _deprecated(repro.analysis, name)
+        assert value is not None
+
+    def test_defining_submodules_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.analysis.pipeline import ProbabilisticAnalysisPipeline  # noqa: F401
+            from repro.analysis.runner import repeat_quantification  # noqa: F401
+            from repro.core.qcoral import quantify  # noqa: F401
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_export
+        with pytest.raises(AttributeError):
+            repro.analysis.no_such_export
+
+
+class TestNumericalIdentity:
+    """Each old path still returns bit-identical fixed-seed results."""
+
+    def test_quantify_shim(self):
+        config = QCoralConfig.strat_partcache(3000, seed=21)
+        old_quantify = _deprecated(repro, "quantify")
+        profile = UsageProfile.uniform({"x": (-1, 1), "y": (-1, 1)})
+        legacy = old_quantify(parse_constraint_set(TRIANGLE), profile, config)
+        with Session() as session:
+            report = session.quantify(TRIANGLE, BOUNDS, config=config).run()
+        assert (legacy.mean, legacy.std, legacy.total_samples) == (report.mean, report.std, report.total_samples)
+
+    def test_pipeline_shim(self):
+        config = QCoralConfig.strat_partcache(2000, seed=22)
+        pipeline_cls = _deprecated(repro, "ProbabilisticAnalysisPipeline")
+        with pipeline_cls(programs.SAFETY_MONITOR, config=config) as pipeline:
+            legacy = pipeline.analyze(programs.SAFETY_MONITOR_EVENT)
+        with Session() as session:
+            report = session.analyze(programs.SAFETY_MONITOR, programs.SAFETY_MONITOR_EVENT, config=config).run()
+        assert (legacy.mean, legacy.std) == (report.mean, report.std)
+        assert legacy.bounded_probability.mean == report.bounded.mean
+        # PipelineResult is the same (still-functional) class either way.
+        result_cls = _deprecated(repro, "PipelineResult")
+        assert isinstance(legacy, result_cls)
+
+    def test_analyze_program_shim(self):
+        config = QCoralConfig.strat_partcache(2000, seed=23)
+        old_analyze_program = _deprecated(repro, "analyze_program")
+        legacy = old_analyze_program(programs.SAFETY_MONITOR, programs.SAFETY_MONITOR_EVENT, config=config)
+        with Session() as session:
+            report = session.analyze(programs.SAFETY_MONITOR, programs.SAFETY_MONITOR_EVENT, config=config).run()
+        assert (legacy.mean, legacy.std) == (report.mean, report.std)
+
+    def test_repeat_quantification_shim(self):
+        config = QCoralConfig.strat_partcache(1000)
+        constraint_set = parse_constraint_set(TRIANGLE)
+        profile = UsageProfile.uniform({"x": (-1, 1), "y": (-1, 1)})
+        old_repeat = _deprecated(repro, "repeat_quantification")
+        from repro.core.qcoral import quantify as engine_quantify
+
+        legacy = old_repeat(
+            lambda seed: engine_quantify(constraint_set, profile, config.with_seed(seed)),
+            runs=3,
+            base_seed=13,
+        )
+        with Session() as session:
+            report = session.quantify(TRIANGLE, BOUNDS, config=config).repeat(runs=3, base_seed=13)
+        assert [t.estimate for t in legacy.outcomes] == [t.estimate for t in report.trials]
+        assert legacy.mean_estimate == report.mean
