@@ -1,0 +1,256 @@
+"""Throughput of the fused constraint kernels on the volcomp suite.
+
+The fused-kernel compiler (:mod:`repro.lang.kernel`) lowers each path
+condition into one generated NumPy function; the claim is (a) it is never
+*semantically* different from the closure-tree oracle — fixed-seed hit counts
+must be bit-identical on every subject, tier, and executor backend — and
+(b) it is faster wherever predicate evaluation, not RNG sampling, dominates.
+This benchmark measures both on real volcomp workloads:
+
+* **throughput** — samples/sec per subject for the closure and fused tiers
+  (and the numba tier when numba is importable), each measured on the serial,
+  thread and process backends at an identical seeded budget;
+* **bit-identity** — the per-subject hit total must be one number across
+  every (tier, backend) cell of the sweep.
+
+ATRIAL is the stress subject: ~1700 distinct path conditions per assertion
+exercise the kernel cache itself, not just the generated code.  Subjects
+whose cost is dominated by profile sampling (many variables, few operations
+per constraint) honestly show parity rather than speedup; the summary records
+them as such.
+
+Writes ``benchmarks/BENCH_kernels.json``.  Directly runnable::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --budget 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+try:
+    from benchmarks.conftest import FULL_SCALE, record_bench, write_bench_summary
+except ImportError:  # executed directly: benchmarks/ is sys.path[0]
+    from conftest import FULL_SCALE, record_bench, write_bench_summary
+from repro.analysis.results import Table
+from repro.core.montecarlo import hit_or_miss_sharded
+from repro.exec import SeedStream, make_executor
+from repro.lang.kernel import TIER_ENV, _numba_njit, clear_kernel_cache, get_kernel, set_kernel_tier
+from repro.subjects.volcomp_suite import subject_by_name
+
+#: Summary file this benchmark writes (uploaded as a CI artifact).
+SUMMARY_FILE = "BENCH_kernels.json"
+
+#: Volcomp subjects swept: ATRIAL stresses the kernel cache (~1700 path
+#: conditions), VOL is evaluation-bound (deep trig constraints), CORONARY and
+#: EGFR EPI are sampling-bound parity checks.
+SUBJECTS = ("ATRIAL", "CORONARY", "EGFR EPI", "VOL")
+
+#: Per-path-condition sampling budget.
+BUDGET = 1_000_000 if FULL_SCALE else 100_000
+
+#: Executor backends swept: (label, executor kind, workers).
+BACKENDS: Tuple[Tuple[str, Optional[str], Optional[int]], ...] = (
+    ("serial", None, None),
+    ("thread", "thread", 2),
+    ("process", "process", 2),
+)
+
+#: Chunk size feeding the sharded sampler (2 chunks per PC at reduced scale).
+CHUNK = 50_000
+
+#: Base seed; path condition ``i`` always samples from ``SEED + i``.
+SEED = 9000
+
+
+def kernel_tiers() -> Tuple[str, ...]:
+    """Tiers worth measuring here: the oracle, the default, numba when present."""
+    tiers = ["closure", "fused"]
+    if _numba_njit() is not None:
+        tiers.append("numba")
+    return tuple(tiers)
+
+
+def _noop(value):
+    return value
+
+
+def run_subject_once(
+    name: str, tier: str, executor: Optional[str], workers: Optional[int], budget: int
+) -> Tuple[int, float]:
+    """One timed sweep over every path condition of a subject's first assertion.
+
+    Returns ``(total_hits, seconds)``.  The tier is installed both in-process
+    and in the environment *before* the pool is created, so process-backend
+    workers inherit it; kernel compilation is warmed outside the timed region
+    (compilation is once-per-deployment, throughput is what recurs).
+    """
+    subject = subject_by_name(name)
+    constraint_set = subject.constraint_set(subject.assertions[0])
+    profile = subject.profile()
+
+    os.environ[TIER_ENV] = tier
+    set_kernel_tier(tier)
+    clear_kernel_cache()
+    for pc in constraint_set.path_conditions:
+        get_kernel(pc)
+
+    backend = make_executor(executor, workers) if executor is not None else None
+    try:
+        if backend is not None:
+            backend.map(_noop, list(range(backend.workers)))
+        hits = 0
+        started = time.perf_counter()
+        for index, pc in enumerate(constraint_set.path_conditions):
+            result = hit_or_miss_sharded(
+                pc, profile, budget, SeedStream(SEED + index), executor=backend, chunk_size=CHUNK
+            )
+            hits += result.hits
+        elapsed = time.perf_counter() - started
+    finally:
+        if backend is not None:
+            backend.close()
+        os.environ.pop(TIER_ENV, None)
+        set_kernel_tier(None)
+    return hits, elapsed
+
+
+def bench_subject(name: str, budget: int, repeats: int, backends=BACKENDS) -> Dict:
+    """Full (tier × backend) sweep of one subject, with the bit-identity check."""
+    subject = subject_by_name(name)
+    path_conditions = len(subject.constraint_set(subject.assertions[0]).path_conditions)
+    total_samples = budget * path_conditions
+
+    runs: List[Dict] = []
+    for tier in kernel_tiers():
+        for label, executor, workers in backends:
+            times: List[float] = []
+            hits = None
+            for _ in range(repeats):
+                hits, elapsed = run_subject_once(name, tier, executor, workers, budget)
+                times.append(elapsed)
+            seconds = min(times)
+            runs.append(
+                {
+                    "tier": tier,
+                    "backend": label,
+                    "workers": workers,
+                    "seconds": seconds,
+                    "seconds_all": times,
+                    "samples_per_second": total_samples / seconds if seconds > 0 else 0.0,
+                    "hits": hits,
+                }
+            )
+
+    hit_values = {run["hits"] for run in runs}
+    by_cell = {(run["tier"], run["backend"]): run for run in runs}
+    speedups = {
+        f"fused_vs_closure_{label}": (
+            by_cell[("closure", label)]["seconds"] / by_cell[("fused", label)]["seconds"]
+            if by_cell[("fused", label)]["seconds"] > 0
+            else 0.0
+        )
+        for label, _, _ in backends
+    }
+    return {
+        "subject": name,
+        "path_conditions": path_conditions,
+        "budget_per_pc": budget,
+        "total_samples": total_samples,
+        "runs": runs,
+        "hits": runs[0]["hits"],
+        "hits_match": len(hit_values) == 1,
+        "speedups": speedups,
+    }
+
+
+def collect_results(budget: int = BUDGET, repeats: int = 2, subjects=SUBJECTS, backends=BACKENDS) -> Dict:
+    """Sweep every subject and register the machine-readable summary."""
+    rows = [bench_subject(name, budget, repeats, backends=backends) for name in subjects]
+    payload = {
+        "budget_per_pc": budget,
+        "chunk_size": CHUNK,
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "tiers": list(kernel_tiers()),
+        "numba_available": _numba_njit() is not None,
+        "backends": [label for label, _, _ in backends],
+        "subjects": rows,
+        "all_hits_match": all(row["hits_match"] for row in rows),
+        "max_speedup_fused": max(
+            speedup for row in rows for speedup in row["speedups"].values()
+        ),
+    }
+    record_bench("kernels", payload, summary=SUMMARY_FILE)
+    return payload
+
+
+def generate_table(payload: Dict) -> Table:
+    table = Table(
+        f"Fused-kernel throughput at {payload['budget_per_pc']} samples/PC "
+        f"({payload['cpu_count']} CPUs; Msamples/s)",
+        ("closure serial", "fused serial", "fused thread", "fused process", "speedup serial", "hits match"),
+    )
+    for row in payload["subjects"]:
+        by_cell = {(run["tier"], run["backend"]): run for run in row["runs"]}
+        table.add_row(
+            row["subject"],
+            by_cell[("closure", "serial")]["samples_per_second"] / 1e6,
+            by_cell[("fused", "serial")]["samples_per_second"] / 1e6,
+            by_cell[("fused", "thread")]["samples_per_second"] / 1e6,
+            by_cell[("fused", "process")]["samples_per_second"] / 1e6,
+            row["speedups"]["fused_vs_closure_serial"],
+            float(row["hits_match"]),
+        )
+    return table
+
+
+class TestKernelBench:
+    #: Reduced budget for the pytest path (CI-friendly).
+    TEST_BUDGET = 20_000
+
+    #: CI sweeps the cheap subjects; ATRIAL's 1700 PCs stay in the full run.
+    TEST_SUBJECTS = ("CORONARY", "VOL")
+
+    @pytest.mark.parametrize("name", list(TEST_SUBJECTS))
+    def test_hits_bit_identical_across_tiers_and_backends(self, name):
+        row = bench_subject(name, self.TEST_BUDGET, repeats=1)
+        assert row["hits_match"], {
+            (run["tier"], run["backend"]): run["hits"] for run in row["runs"]
+        }
+
+    def test_summary_registered(self):
+        payload = collect_results(budget=self.TEST_BUDGET, repeats=1, subjects=self.TEST_SUBJECTS)
+        assert payload["all_hits_match"]
+        assert len(payload["subjects"]) == len(self.TEST_SUBJECTS)
+
+    @pytest.mark.skipif(not FULL_SCALE, reason="perf threshold is opt-in (QCORAL_BENCH_FULL=1)")
+    def test_fused_beats_closure_somewhere(self):
+        """Wall-clock threshold — opt-in so shared-runner noise can't fail CI."""
+        payload = collect_results(budget=BUDGET, repeats=2)
+        assert payload["max_speedup_fused"] >= 1.5
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=int, default=BUDGET, help="samples per path condition")
+    parser.add_argument("--repeats", type=int, default=2, help="timing repetitions (best-of)")
+    parser.add_argument("--subjects", nargs="*", default=list(SUBJECTS), help="volcomp subjects to sweep")
+    args = parser.parse_args(argv)
+
+    payload = collect_results(budget=args.budget, repeats=args.repeats, subjects=tuple(args.subjects))
+    print(generate_table(payload).render())
+    print(f"\nall hits match: {payload['all_hits_match']}; max fused speedup {payload['max_speedup_fused']:.2f}x")
+    print(f"summary written to {write_bench_summary(SUMMARY_FILE)}")
+    if not FULL_SCALE:
+        print("(reduced mode: set QCORAL_BENCH_FULL=1 for the paper-scale sweep)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,10 @@ a tracked quality metric regressed by more than the tolerance:
   resolves exactly) from turning float noise into a gate failure.
 * **warm reuse fractions** (``BENCH_store.json``) — higher is better; a fresh
   fraction below ``baseline × 0.8`` fails.
+* **fused-kernel summaries** (``BENCH_kernels.json``) — per-subject hit counts
+  must be bit-identical across every kernel tier and executor backend
+  (unconditional, no tolerance); fused-vs-closure speedups gate against the
+  baseline with a loose floor since CI timing is noisy.
 
 Families whose fresh file was not produced this run, or whose baseline does
 not exist at ``HEAD`` yet (a newly introduced family), are skipped with a
@@ -38,6 +42,11 @@ SIGMA_RATIO_SLACK = 0.05
 
 #: Relative regression tolerance on reuse fractions (higher is better).
 REUSE_FRACTION_TOLERANCE = 0.20
+
+#: Relative regression tolerance on fused-kernel speedups (higher is better).
+#: Deliberately loose: shared-runner timing noise is large, and the hard
+#: bit-identity check below does not depend on timing at all.
+KERNEL_SPEEDUP_TOLERANCE = 0.50
 
 #: Environment variable that downgrades failures to warnings.
 OVERRIDE_ENV = "QCORAL_BENCH_ALLOW_REGRESSION"
@@ -128,11 +137,54 @@ def compare_reuse_fractions(family: str, baseline: dict, fresh: dict) -> List[Fi
     return findings
 
 
+def compare_kernels(family: str, baseline: dict, fresh: dict) -> List[Finding]:
+    """Fused-kernel summary: hit bit-identity is hard, speedups are soft.
+
+    ``hits_match`` compares the fresh run against *itself* (every tier/backend
+    cell must agree), so it gates unconditionally — a mismatch means the fused
+    codegen changed semantics, which no tolerance can excuse.  Speedups are
+    compared against the committed baseline with a loose floor because CI
+    timing is noisy.
+    """
+    findings: List[Finding] = []
+    fresh_payload = fresh.get("kernels", {})
+    base_payload = baseline.get("kernels", {})
+    for row in fresh_payload.get("subjects", []):
+        findings.append(
+            Finding(
+                family,
+                f"{row['subject']} hits_match",
+                1.0,
+                float(bool(row.get("hits_match"))),
+                not row.get("hits_match"),
+            )
+        )
+    base_rows = {row["subject"]: row for row in base_payload.get("subjects", [])}
+    for row in fresh_payload.get("subjects", []):
+        base_row = base_rows.get(row["subject"])
+        if base_row is None:
+            continue
+        base_speedup = float(base_row.get("speedups", {}).get("fused_vs_closure_serial", 0.0))
+        fresh_speedup = float(row.get("speedups", {}).get("fused_vs_closure_serial", 0.0))
+        floor = base_speedup * (1.0 - KERNEL_SPEEDUP_TOLERANCE)
+        findings.append(
+            Finding(
+                family,
+                f"{row['subject']} fused_vs_closure_serial",
+                base_speedup,
+                fresh_speedup,
+                fresh_speedup < floor,
+            )
+        )
+    return findings
+
+
 #: Benchmark families and the comparator handling each.
 FAMILIES = (
     ("BENCH_adaptive.json", lambda b, f: compare_sigma_ratios("adaptive", b, f, "adaptive_allocation")),
     ("BENCH_importance.json", lambda b, f: compare_sigma_ratios("importance", b, f, "importance")),
     ("BENCH_store.json", lambda b, f: compare_reuse_fractions("store", b, f)),
+    ("BENCH_kernels.json", lambda b, f: compare_kernels("kernels", b, f)),
 )
 
 

@@ -71,6 +71,14 @@ from repro.exec import (
     make_executor,
 )
 from repro.lang.ast import Constraint, ConstraintSet, PathCondition
+from repro.lang.kernel import (
+    KERNEL_TIERS,
+    clear_kernel_cache,
+    current_kernel_tier,
+    get_kernel,
+    kernel_cache_stats,
+    set_kernel_tier,
+)
 from repro.lang.parser import (
     parse_constraint,
     parse_constraint_set,
@@ -117,6 +125,13 @@ __all__ = [
     "parse_constraint",
     "parse_path_condition",
     "parse_constraint_set",
+    # Fused constraint kernels
+    "get_kernel",
+    "KERNEL_TIERS",
+    "set_kernel_tier",
+    "current_kernel_tier",
+    "kernel_cache_stats",
+    "clear_kernel_cache",
     # Engine layer (stable, non-deprecated lower-level surface)
     "QCoralAnalyzer",
     "QCoralConfig",

@@ -31,7 +31,7 @@ from repro.errors import AnalysisError
 from repro.icp.hc4 import constraint_certainly_fails, constraint_certainly_holds
 from repro.intervals.box import Box
 from repro.lang import ast
-from repro.lang.compiler import compile_constraint_set
+from repro.lang.kernel import get_kernel
 
 
 @dataclass(frozen=True)
@@ -117,7 +117,7 @@ def integrate_indicator(
 
     started = time.perf_counter()
     deadline = started + config.time_budget
-    predicate = compile_constraint_set(constraint_set)
+    predicate = get_kernel(constraint_set)
     domain_volume = domain.volume()
 
     settled_probability = 0.0

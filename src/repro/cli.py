@@ -23,6 +23,7 @@ without CLI edits.  ``--json`` on either command emits the versioned
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, Optional, Sequence
 
@@ -40,6 +41,7 @@ from repro.core.qcoral import QCoralConfig
 from repro.core.stratified import ALLOCATION_POLICIES
 from repro.errors import ReproError
 from repro.exec.executor import EXECUTOR_KINDS
+from repro.lang.kernel import KERNEL_TIERS, TIER_ENV, set_kernel_tier
 from repro.lang.parser import parse_constraint_set
 from repro.store.backends import STORE_BACKENDS
 from repro.symexec.parser import parse_program
@@ -149,6 +151,17 @@ def _common_parser() -> argparse.ArgumentParser:
         choices=list(ALLOCATION_POLICIES),
         default="even",
         help="per-stratum budget split: even (paper), neyman (variance-driven), or mass",
+    )
+    common.add_argument(
+        "--kernel-tier",
+        choices=list(KERNEL_TIERS),
+        default=None,
+        help=(
+            "constraint-kernel tier: fused (generated numpy kernel, the "
+            "default), numba (njit-compiled when numba is installed, falls "
+            "back to fused), closure (reference evaluator), or auto "
+            "(numba when available); also via QCORAL_KERNEL_TIER"
+        ),
     )
     common.add_argument(
         "--show-rounds",
@@ -352,6 +365,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.kernel_tier is not None:
+            # Set the environment too so process-pool workers spawned later
+            # inherit the tier choice along with the in-process override.
+            os.environ[TIER_ENV] = args.kernel_tier
+            set_kernel_tier(args.kernel_tier)
         return args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -27,7 +27,8 @@ from repro.core.profiles import UsageProfile
 from repro.errors import AnalysisError
 from repro.intervals.box import Box
 from repro.lang import ast
-from repro.lang.compiler import CompiledPredicate, compile_path_condition
+from repro.lang.compiler import CompiledPredicate
+from repro.lang.kernel import get_kernel
 
 
 @dataclass(frozen=True)
@@ -106,7 +107,7 @@ def hit_or_miss(
             Estimate.exact(mean), int(mean * samples), samples
         )
 
-    compiled = predicate if predicate is not None else compile_path_condition(pc)
+    compiled = predicate if predicate is not None else get_kernel(pc)
 
     hits = 0
     drawn = 0
@@ -205,8 +206,6 @@ def hit_or_miss_constraint_set(
     baseline labelled "Monte Carlo" in the paper's Table 4.  Like
     :func:`hit_or_miss` it is resumable through ``prior``.
     """
-    from repro.lang.compiler import compile_constraint_set
-
     if samples <= 0:
         raise AnalysisError("hit-or-miss sampling needs a positive sample count")
     names = tuple(sorted(constraint_set.free_variables()))
@@ -219,7 +218,7 @@ def hit_or_miss_constraint_set(
             Estimate.exact(mean), int(mean * samples), samples
         )
 
-    compiled = compile_constraint_set(constraint_set)
+    compiled = get_kernel(constraint_set)
     hits = 0
     drawn = 0
     while drawn < samples:

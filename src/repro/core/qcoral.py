@@ -66,7 +66,7 @@ from repro.icp.config import ICPConfig, PAPER_CONFIG
 from repro.icp.solver import ICPSolver
 from repro.lang import ast
 from repro.lang.analysis import group_constraints_by_block
-from repro.lang.compiler import compile_path_condition
+from repro.lang.kernel import get_kernel
 from repro.lang.simplify import simplify_path_condition
 from repro.store.backends import STORE_BACKENDS, EstimateStore, open_store
 from repro.store.entry import StoreEntry
@@ -816,7 +816,7 @@ class QCoralAnalyzer:
                 if not parallel:
                     # On the executor path workers compile (and cache) their
                     # own predicate; compiling here would be wasted work.
-                    state.predicate = compile_path_condition(factor)
+                    state.predicate = get_kernel(factor)
                 if entry is not None:
                     self._warm_start_mc(state, entry)
         if state.warm and self._need(state) == 0:

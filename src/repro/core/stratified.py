@@ -49,7 +49,7 @@ from repro.icp.config import ICPConfig, PAPER_CONFIG
 from repro.icp.solver import ICPSolver, PavedBox, Paving
 from repro.intervals.box import Box
 from repro.lang import ast
-from repro.lang.compiler import compile_path_condition
+from repro.lang.kernel import get_kernel
 
 #: Allocation policy names accepted throughout the stack.  ``"even"`` is the
 #: paper's equal split, ``"neyman"`` the variance-minimising ``w·σ`` split,
@@ -316,7 +316,7 @@ class StratifiedSampler:
 
         # On the sharded path (seed_stream set) workers compile and cache
         # their own predicate; compiling here would be wasted work.
-        self._predicate = compile_path_condition(pc) if self._seed_stream is None else None
+        self._predicate = get_kernel(pc) if self._seed_stream is None else None
 
     def _refined_boxes(self, paving: "Paving") -> Sequence["PavedBox"]:
         """Hook mapping the ICP paving to the stratum boxes (identity here).

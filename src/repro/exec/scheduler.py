@@ -14,15 +14,17 @@ Two properties make the scheme deterministic:
 * each task draws from its own :class:`numpy.random.SeedSequence`, so the
   samples it sees are a function of the plan position only.
 
-Workers compile each distinct predicate once and cache it keyed by the
-factor's canonical text (compiled predicates are closures and do not pickle,
-so they cannot travel with the task).
+Workers compile each distinct predicate once through the shared fused-kernel
+cache (:func:`repro.lang.kernel.get_kernel`) — compiled kernels do not pickle,
+so they cannot travel with the task, but the persistent on-disk source cache
+means a freshly forked worker skips codegen for any kernel the parent (or a
+previous run) already emitted.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +32,7 @@ from repro.errors import ConfigurationError
 from repro.exec.executor import Executor, SerialExecutor
 from repro.intervals.box import Box
 from repro.lang import ast
-from repro.lang.compiler import CompiledPredicate, compile_path_condition
+from repro.lang.kernel import get_kernel
 
 if TYPE_CHECKING:  # pragma: no cover - deferred to avoid a core<->exec cycle
     from repro.core.profiles import UsageProfile
@@ -77,22 +79,6 @@ def shard_budget(budget: int, chunk_size: int = DEFAULT_CHUNK_SIZE) -> List[int]
     return chunks
 
 
-#: Per-process cache of compiled predicates, keyed by canonical factor text
-#: (plus the sampled-variable tuple, which affects nothing in compilation but
-#: keeps keys self-describing).  Benign under the thread backend: the GIL
-#: makes dict access atomic and recompiling a predicate twice is harmless.
-_PREDICATE_CACHE: Dict[str, CompiledPredicate] = {}
-
-
-def _predicate_for(pc: ast.PathCondition) -> CompiledPredicate:
-    key = pc.canonical()
-    predicate = _PREDICATE_CACHE.get(key)
-    if predicate is None:
-        predicate = compile_path_condition(pc)
-        _PREDICATE_CACHE[key] = predicate
-    return predicate
-
-
 def execute_sampling_task(task: SamplingTask) -> Tuple[int, int]:
     """Run one task and return its raw ``(hits, samples)`` counts.
 
@@ -109,7 +95,7 @@ def execute_sampling_task(task: SamplingTask) -> Tuple[int, int]:
         np.random.default_rng(task.seed),
         box=task.box,
         variables=task.variables,
-        predicate=_predicate_for(task.pc),
+        predicate=get_kernel(task.pc),
         batch_size=task.batch_size,
     )
     return result.hits, result.samples

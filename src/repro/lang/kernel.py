@@ -1,0 +1,742 @@
+"""Fused-kernel constraint compiler with a persistent cross-process cache.
+
+:mod:`repro.lang.compiler` evaluates a path condition as a tree of NumPy
+closures: every AST node is one Python call plus one intermediate ndarray per
+batch, and every constant is materialised with ``np.full``.  The estimator
+spends essentially all of its wall-clock in that tree, so this module lowers a
+whole canonical path condition (or constraint set) into **one** generated
+Python function — a fused kernel — that computes the conjunction in a single
+pass with explicit temporaries:
+
+* constants stay scalar literals (NumPy broadcasting replaces ``np.full``);
+* each variable is converted to a float array once, not once per occurrence;
+* common subexpressions are computed once across conjuncts — and, for
+  constraint sets, across *path conditions*, which share long prefixes under
+  bounded symbolic execution;
+* the conjunction short-circuits between conjuncts exactly like the closure
+  evaluator (``if not out.any(): return out``).
+
+The compiled semantics is bit-identical to the closure compiler's: the same
+ufuncs run in the same per-expression order, domain errors (division by zero,
+roots/logs of negatives) produce the same NaN/inf entries under the same
+``errstate``, and comparisons involving NaN are unsatisfied.  The closure
+compiler stays as the reference oracle (`tier="closure"`).
+
+Tiers
+-----
+``fused``
+    The generated NumPy kernel, ``compile()``/``exec()``-ed.  The default.
+``numba``
+    The fused kernel wrapped in ``numba.njit``.  Requires numba; when it is
+    not importable — or the jitted kernel fails a probe-batch equivalence
+    check against the fused kernel — the fused tier is used instead and a
+    ``RuntimeWarning`` is emitted once.
+``closure``
+    The pre-existing closure-tree compiler, kept as the reference oracle and
+    kill-switch (kernels are still cached, just not fused).
+``auto``
+    ``numba`` when importable, else ``fused``.
+
+The tier is selected per call (``get_kernel(..., tier=...)``), per process
+(:func:`set_kernel_tier`), or per environment (``QCORAL_KERNEL_TIER``); the
+``qcoral`` CLI exposes ``--kernel-tier``.
+
+Caching
+-------
+Kernels are keyed by the **alpha-renamed canonical text** of the constraint
+(:mod:`repro.lang.canonical`) plus :data:`KERNEL_VERSION`, so alpha-equivalent
+factors — ``x <= 0.5`` and ``y <= 0.5`` — share one compiled kernel, and a
+codegen change invalidates every stale entry.  Two tiers of cache:
+
+* an in-process, thread-safe LRU (``QCORAL_KERNEL_CACHE_SIZE``, default 4096)
+  holding compiled kernel functions;
+* a persistent on-disk **source** cache under ``~/.cache/qcoral/kernels``
+  (override with ``QCORAL_KERNEL_CACHE_DIR``; disable with
+  ``QCORAL_KERNEL_DISK_CACHE=0``), so repeated runs and freshly forked
+  ProcessPool workers skip codegen — the JIT-cache pattern Bodo uses for
+  repeated pandas/numpy workloads.  Files are written atomically and
+  validated (version + key digest) before reuse, so a corrupt or stale file
+  is regenerated, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EvaluationError, UnknownFunctionError, UnknownVariableError
+from repro.lang import ast
+from repro.lang.canonical import alpha_canonical_greedy, canonical_name
+from repro.lang.compiler import (
+    CompiledPredicate,
+    SampleBatch,
+    _batch_length,
+    compile_constraint_set,
+    compile_path_condition,
+)
+from repro.lang.substitution import substitute_constraint
+
+#: Version tag of the kernel codegen.  Folded into every cache key (memory and
+#: disk), so bumping it invalidates all previously emitted kernels; bump on any
+#: change to the generated source or its semantics.
+KERNEL_VERSION = "qcoral-kernel-2"
+
+#: Selectable kernel tiers (see module docstring).
+KERNEL_TIERS = ("auto", "fused", "numba", "closure")
+
+#: Environment variable selecting the tier for a whole process tree (workers
+#: inherit it), overridden by :func:`set_kernel_tier` and the ``tier=`` arg.
+TIER_ENV = "QCORAL_KERNEL_TIER"
+
+#: Environment variable overriding the persistent cache directory.
+CACHE_DIR_ENV = "QCORAL_KERNEL_CACHE_DIR"
+
+#: Environment variable disabling the persistent cache (``0``/``false``).
+DISK_CACHE_ENV = "QCORAL_KERNEL_DISK_CACHE"
+
+#: Environment variable bounding the in-process LRU (entries, default 4096).
+CACHE_SIZE_ENV = "QCORAL_KERNEL_CACHE_SIZE"
+
+#: Default in-process LRU capacity.
+DEFAULT_CACHE_SIZE = 4096
+
+#: Name of the generated function inside an emitted kernel source.
+_KERNEL_FUNC = "qcoral_kernel"
+
+#: Anything :func:`get_kernel` accepts.
+Compilable = Union[ast.Constraint, ast.PathCondition, ast.ConstraintSet]
+
+#: NumPy spelling of every supported function, mirroring the closure
+#: compiler's ufunc tables (same ufuncs => bit-identical values).
+_UNARY_NUMPY: Dict[str, str] = {
+    "sin": "np.sin",
+    "cos": "np.cos",
+    "tan": "np.tan",
+    "asin": "np.arcsin",
+    "acos": "np.arccos",
+    "atan": "np.arctan",
+    "sinh": "np.sinh",
+    "cosh": "np.cosh",
+    "tanh": "np.tanh",
+    "exp": "np.exp",
+    "log": "np.log",
+    "log10": "np.log10",
+    "sqrt": "np.sqrt",
+    "abs": "np.abs",
+}
+
+_BINARY_NUMPY: Dict[str, str] = {
+    "pow": "np.power",
+    "atan2": "np.arctan2",
+    "min": "np.minimum",
+    "max": "np.maximum",
+}
+
+
+# --------------------------------------------------------------------------- #
+# Tier selection
+# --------------------------------------------------------------------------- #
+_TIER_LOCK = threading.Lock()
+_TIER_OVERRIDE: Optional[str] = None
+_NUMBA_WARNED = False
+
+
+def set_kernel_tier(tier: Optional[str]) -> None:
+    """Set the process-wide kernel tier (None resets to the environment)."""
+    global _TIER_OVERRIDE
+    if tier is not None and tier not in KERNEL_TIERS:
+        raise ConfigurationError(f"unknown kernel tier {tier!r}; expected one of {KERNEL_TIERS}")
+    with _TIER_LOCK:
+        _TIER_OVERRIDE = tier
+
+
+def current_kernel_tier() -> str:
+    """The configured tier: the process override, else the environment, else ``fused``."""
+    with _TIER_LOCK:
+        if _TIER_OVERRIDE is not None:
+            return _TIER_OVERRIDE
+    configured = os.environ.get(TIER_ENV, "").strip()
+    if not configured:
+        return "fused"
+    if configured not in KERNEL_TIERS:
+        raise ConfigurationError(f"{TIER_ENV}={configured!r} is not one of {KERNEL_TIERS}")
+    return configured
+
+
+def _numba_njit() -> Optional[Callable]:
+    """``numba.njit`` when importable, else None (checked once per process)."""
+    try:
+        from numba import njit  # type: ignore[import-not-found]
+    except Exception:  # pragma: no cover - depends on the environment
+        return None
+    return njit
+
+
+def _warn_numba_fallback(reason: str) -> None:
+    global _NUMBA_WARNED
+    with _TIER_LOCK:
+        if _NUMBA_WARNED:
+            return
+        _NUMBA_WARNED = True
+    warnings.warn(f"numba kernel tier unavailable ({reason}); falling back to fused", RuntimeWarning, stacklevel=3)
+
+
+def _resolve_tier(tier: Optional[str]) -> str:
+    """Resolve the requested/configured tier to a concrete one."""
+    requested = tier if tier is not None else current_kernel_tier()
+    if requested not in KERNEL_TIERS:
+        raise ConfigurationError(f"unknown kernel tier {requested!r}; expected one of {KERNEL_TIERS}")
+    if requested == "auto":
+        return "numba" if _numba_njit() is not None else "fused"
+    return requested
+
+
+# --------------------------------------------------------------------------- #
+# Canonicalisation: cache keys and renamed ASTs
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _Lowered:
+    """One constraint lowered to its canonical kernel identity.
+
+    Attributes:
+        kind: ``"pc"`` (conjunction) or ``"cs"`` (disjunction of conjunctions).
+        text: Alpha-renamed canonical text — the cache key.
+        digest: SHA-256 over ``KERNEL_VERSION + kind + text`` — the disk key.
+        variables: Original variable names in canonical order; position ``i``
+            is the variable kernel argument ``v{i}`` binds to.
+    """
+
+    kind: str
+    text: str
+    digest: str
+    variables: Tuple[str, ...]
+
+
+def _digest(kind: str, text: str) -> str:
+    material = "\x1f".join((KERNEL_VERSION, kind, text))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def _renamed_sorted_constraints(
+    constraints: Sequence[ast.Constraint], order: Sequence[str]
+) -> List[ast.Constraint]:
+    """``constraints`` with ``order[i]`` renamed to ``$v{i}``, conjuncts sorted.
+
+    The sorted order matches the canonical text's conjunct order, so the
+    emitted source is a pure function of the canonical text.
+    """
+    bindings: Dict[str, ast.Expression] = {
+        name: ast.Variable(canonical_name(index)) for index, name in enumerate(order)
+    }
+    renamed = [substitute_constraint(constraint, bindings) for constraint in constraints]
+    return sorted(renamed, key=lambda constraint: constraint.canonical())
+
+
+def _lower_path_condition(pc: ast.PathCondition) -> Tuple[_Lowered, List[ast.Constraint]]:
+    # Greedy (linear-time) canonicalisation: the exact variant enumerates up
+    # to 7! renamings, which costs tens of milliseconds per factor — far more
+    # than sampling the factor.  Greedy may miss a share between equivalent
+    # factors with shape-tied conjuncts; that duplicates a kernel, nothing else.
+    alpha = alpha_canonical_greedy(pc)
+    renamed = _renamed_sorted_constraints(pc.constraints, alpha.variables)
+    lowered = _Lowered("pc", alpha.text, _digest("pc", alpha.text), alpha.variables)
+    return lowered, renamed
+
+
+def _lower_constraint_set(cs: ast.ConstraintSet) -> Tuple[_Lowered, List[List[ast.Constraint]]]:
+    """Lower a disjunction with one *shared* renaming across all disjuncts.
+
+    Per-disjunct alpha renaming would break cross-disjunct variable identity,
+    so the whole set is renamed by one deterministic order (sorted original
+    names).  Renamed sets therefore may miss reuse a per-conjunction alpha
+    key would find — a cache miss, never a wrong kernel.
+    """
+    names = tuple(sorted(cs.free_variables()))
+    renamed_pcs = [_renamed_sorted_constraints(pc.constraints, names) for pc in cs.path_conditions]
+    texts = [" && ".join(c.canonical() for c in constraints) or "true" for constraints in renamed_pcs]
+    ordered = sorted(range(len(texts)), key=lambda index: texts[index])
+    text = " || ".join(texts[index] for index in ordered) or "false"
+    lowered = _Lowered("cs", text, _digest("cs", text), names)
+    return lowered, [renamed_pcs[index] for index in ordered]
+
+
+# --------------------------------------------------------------------------- #
+# Code generation
+# --------------------------------------------------------------------------- #
+def _arg_name(canonical: str) -> str:
+    """Kernel argument name of a canonical variable (``$v3`` -> ``v3``)."""
+    return canonical.lstrip("$")
+
+
+class _Emitter:
+    """Emits statements for expression trees with common-subexpression reuse.
+
+    Every non-leaf node becomes one explicit temporary (``t3 = t1 * t2``);
+    constants and variables are referenced inline.  Temporaries are shared by
+    canonical text, so a subexpression appearing in several conjuncts — or in
+    several path conditions of one constraint set — is computed once.
+    """
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._cse: Dict[str, str] = {}
+        self._count = 0
+
+    def _temp(self) -> str:
+        name = f"t{self._count}"
+        self._count += 1
+        return name
+
+    def expression(self, expr: ast.Expression) -> str:
+        """A Python fragment referencing the value of ``expr``."""
+        if isinstance(expr, ast.Constant):
+            # np.float64, not a bare literal: constant-constant arithmetic must
+            # follow IEEE semantics (1.0/0.0 -> inf), never raise ZeroDivisionError
+            # the way scalar Python floats would.
+            return f"np.float64({float(expr.value)!r})"
+        if isinstance(expr, ast.Variable):
+            return _arg_name(expr.name)
+        key = expr.canonical()
+        cached = self._cse.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(expr, ast.UnaryOp):
+            if expr.operator != "-":
+                raise EvaluationError(f"unknown unary operator {expr.operator!r}")
+            statement = f"-({self.expression(expr.operand)})"
+        elif isinstance(expr, ast.BinaryOp):
+            if expr.operator not in ast.ARITHMETIC_OPERATORS:
+                raise EvaluationError(f"unknown binary operator {expr.operator!r}")
+            left = self.expression(expr.left)
+            right = self.expression(expr.right)
+            statement = f"{left} {expr.operator} {right}"
+        elif isinstance(expr, ast.FunctionCall):
+            statement = self._call(expr)
+        else:
+            raise EvaluationError(f"cannot compile node of type {type(expr).__name__}")
+        name = self._temp()
+        self.lines.append(f"{name} = {statement}")
+        self._cse[key] = name
+        return name
+
+    def _call(self, expr: ast.FunctionCall) -> str:
+        arguments = [self.expression(argument) for argument in expr.arguments]
+        if expr.name in _UNARY_NUMPY:
+            if len(arguments) != 1:
+                raise EvaluationError(f"function {expr.name!r} expects 1 argument, got {len(arguments)}")
+            return f"{_UNARY_NUMPY[expr.name]}({arguments[0]})"
+        if expr.name in _BINARY_NUMPY:
+            if len(arguments) != 2:
+                raise EvaluationError(f"function {expr.name!r} expects 2 arguments, got {len(arguments)}")
+            return f"{_BINARY_NUMPY[expr.name]}({arguments[0]}, {arguments[1]})"
+        raise UnknownFunctionError(expr.name)
+
+    def constraint(self, constraint: ast.Constraint) -> str:
+        """A fragment referencing the boolean array of one atomic constraint."""
+        key = constraint.canonical()
+        cached = self._cse.get(key)
+        if cached is not None:
+            return cached
+        left = self.expression(constraint.left)
+        right = self.expression(constraint.right)
+        name = self._temp()
+        if constraint.free_variables():
+            self.lines.append(f"{name} = {left} {constraint.operator} {right}")
+        else:
+            # Variable-free conjunct: both sides are scalars, so the result
+            # must be broadcast to a batch-length boolean array explicitly.
+            self.lines.append(f"{name} = np.full(n, {left} {constraint.operator} {right}, np.bool_)")
+        self._cse[key] = name
+        return name
+
+
+def _render(lowered: _Lowered, body: Sequence[str]) -> str:
+    """Assemble the final kernel source with its validation header."""
+    args = ", ".join(["n"] + [f"v{index}" for index in range(len(lowered.variables))])
+    header = [
+        "# qcoral fused kernel (generated; do not edit)",
+        f"# version: {KERNEL_VERSION}",
+        f"# kind: {lowered.kind}",
+        f"# key-sha256: {lowered.digest}",
+        f"def {_KERNEL_FUNC}({args}):",
+    ]
+    indented = [f"    {line}" for line in body]
+    return "\n".join(header + indented) + "\n"
+
+
+def _generate_source(node: Compilable) -> Tuple[_Lowered, str]:
+    """Lower ``node`` and emit its fused kernel source."""
+    if isinstance(node, ast.PathCondition):
+        lowered, constraints = _lower_path_condition(node)
+        emitter = _Emitter()
+        body: List[str] = []
+        emitter.lines = body
+        body.append("out = np.ones(n, dtype=np.bool_)")
+        for index, constraint in enumerate(constraints):
+            reference = emitter.constraint(constraint)
+            body.append(f"out &= {reference}")
+            if index + 1 < len(constraints):
+                # Same short-circuit the closure evaluator applies between
+                # conjuncts: once nothing survives, skip the rest.
+                body.append("if not out.any():")
+                body.append("    return out")
+        body.append("return out")
+        return lowered, _render(lowered, body)
+
+    if isinstance(node, ast.ConstraintSet):
+        lowered, renamed_pcs = _lower_constraint_set(node)
+        emitter = _Emitter()
+        body = emitter.lines
+        body.append("out = np.zeros(n, dtype=np.bool_)")
+        for constraints in renamed_pcs:
+            if not constraints:
+                body.append("out |= np.ones(n, dtype=np.bool_)")
+                continue
+            references = [emitter.constraint(constraint) for constraint in constraints]
+            # No per-disjunct short-circuit here: temporaries are shared
+            # across disjuncts (the CSE win on shared path prefixes), so a
+            # skipped conjunct could starve a later disjunct of its input.
+            body.append(f"out |= {' & '.join(references)}")
+        body.append("return out")
+        return lowered, _render(lowered, body)
+
+    raise EvaluationError(f"cannot build a kernel for node of type {type(node).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# Persistent on-disk source cache
+# --------------------------------------------------------------------------- #
+def kernel_cache_dir() -> Optional[str]:
+    """The persistent cache directory, or None when the disk tier is disabled."""
+    if os.environ.get(DISK_CACHE_ENV, "1") in ("0", "false", "False", ""):
+        return None
+    custom = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if custom:
+        return custom
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "qcoral", "kernels")
+
+
+def _disk_path(digest: str) -> Optional[str]:
+    directory = kernel_cache_dir()
+    if directory is None:
+        return None
+    return os.path.join(directory, f"{digest}.py")
+
+
+def _disk_read(digest: str) -> Optional[str]:
+    """Validated source from the disk cache, or None on miss/corruption."""
+    path = _disk_path(digest)
+    if path is None:
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError:
+        return None
+    # Trust nothing: a file is reused only when its embedded version and key
+    # digest both match what we would generate.
+    if f"# version: {KERNEL_VERSION}" not in source or f"# key-sha256: {digest}" not in source:
+        return None
+    if f"def {_KERNEL_FUNC}(" not in source:
+        return None
+    return source
+
+
+def _disk_write(digest: str, source: str) -> None:
+    """Atomically persist kernel source (best-effort; disk errors are ignored)."""
+    path = _disk_path(digest)
+    if path is None:
+        return
+    try:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(source)
+            os.replace(temp_path, path)
+        except BaseException:
+            os.unlink(temp_path)
+            raise
+    except OSError:  # pragma: no cover - disk-full / permission environments
+        return
+
+
+# --------------------------------------------------------------------------- #
+# In-process caches and statistics
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class KernelCacheStats:
+    """Snapshot of the kernel cache counters (cumulative per process)."""
+
+    lookups: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    codegens: int = 0
+    numba_fallbacks: int = 0
+
+
+_CACHE_LOCK = threading.Lock()
+#: Compiled kernels: (tier, kind, canonical text) -> callable.
+_KERNEL_CACHE: "OrderedDict[Tuple[str, str, str], Callable]" = OrderedDict()
+#: Lowering results: (kind, node) -> _Lowered (alpha-canonicalisation is the
+#: expensive part of the key, so it is memoised on the hashable AST itself).
+_LOWERED_CACHE: "OrderedDict[Tuple[str, Compilable], _Lowered]" = OrderedDict()
+_STATS = {"lookups": 0, "memory_hits": 0, "disk_hits": 0, "codegens": 0, "numba_fallbacks": 0}
+
+
+def _cache_capacity() -> int:
+    raw = os.environ.get(CACHE_SIZE_ENV, "").strip()
+    if not raw:
+        return DEFAULT_CACHE_SIZE
+    try:
+        capacity = int(raw)
+    except ValueError:
+        return DEFAULT_CACHE_SIZE
+    return max(1, capacity)
+
+
+def _lru_get(cache: OrderedDict, key):
+    value = cache.get(key)
+    if value is not None:
+        cache.move_to_end(key)
+    return value
+
+
+def _lru_put(cache: OrderedDict, key, value) -> None:
+    cache[key] = value
+    cache.move_to_end(key)
+    capacity = _cache_capacity()
+    while len(cache) > capacity:
+        cache.popitem(last=False)
+
+
+def kernel_cache_stats() -> KernelCacheStats:
+    """Current cache counters (lookups, hits per tier, codegen runs)."""
+    with _CACHE_LOCK:
+        return KernelCacheStats(**_STATS)
+
+
+def clear_kernel_cache(disk: bool = False) -> None:
+    """Drop every in-process kernel (and, with ``disk=True``, the disk cache).
+
+    Counters are reset too, so tests can assert on deltas from zero.
+    """
+    with _CACHE_LOCK:
+        _KERNEL_CACHE.clear()
+        _LOWERED_CACHE.clear()
+        for counter in _STATS:
+            _STATS[counter] = 0
+    if disk:
+        directory = kernel_cache_dir()
+        if directory is None or not os.path.isdir(directory):
+            return
+        for entry in os.listdir(directory):
+            if entry.endswith(".py"):
+                try:
+                    os.unlink(os.path.join(directory, entry))
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+
+
+def _bump(counter: str, amount: int = 1) -> None:
+    with _CACHE_LOCK:
+        _STATS[counter] += amount
+
+
+# --------------------------------------------------------------------------- #
+# Compilation and tier application
+# --------------------------------------------------------------------------- #
+def _compile_source(source: str, digest: str) -> Callable:
+    path = _disk_path(digest)
+    filename = path if path is not None else f"<qcoral-kernel-{digest[:12]}>"
+    namespace: Dict[str, object] = {"np": np}
+    code = compile(source, filename, "exec")
+    exec(code, namespace)  # noqa: S102 - executing our own generated source
+    return namespace[_KERNEL_FUNC]  # type: ignore[return-value]
+
+
+def _probe_arrays(arity: int) -> List[np.ndarray]:
+    """A small deterministic batch covering sign changes, zero, and >1 values."""
+    base = np.array([-2.0, -0.5, 0.0, 0.5, 1.0, 3.0])
+    return [np.roll(base, index) for index in range(arity)]
+
+
+def _apply_numba(fused: Callable, lowered: _Lowered) -> Callable:
+    """JIT the fused kernel, verifying it against the Python version.
+
+    The jitted kernel must reproduce the fused kernel bit-for-bit on a probe
+    batch; any compile error or mismatch falls back to the fused tier (with a
+    one-time warning), so a numba version skew can slow us down but never
+    change an estimate.
+    """
+    njit = _numba_njit()
+    if njit is None:
+        _warn_numba_fallback("numba is not importable")
+        _bump("numba_fallbacks")
+        return fused
+    try:
+        jitted = njit(fused)
+        probe = _probe_arrays(len(lowered.variables))
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            expected = fused(6, *probe)
+            observed = jitted(6, *probe)
+        if not np.array_equal(np.asarray(observed), np.asarray(expected)):
+            raise EvaluationError("jitted kernel disagrees with the fused kernel on the probe batch")
+    except Exception as error:
+        _warn_numba_fallback(str(error))
+        _bump("numba_fallbacks")
+        return fused
+    return jitted
+
+
+def _lowered_for(node: Compilable) -> _Lowered:
+    kind = "pc" if isinstance(node, ast.PathCondition) else "cs"
+    key = (kind, node)
+    with _CACHE_LOCK:
+        cached = _lru_get(_LOWERED_CACHE, key)
+    if cached is not None:
+        return cached
+    if isinstance(node, ast.PathCondition):
+        lowered, _ = _lower_path_condition(node)
+    else:
+        lowered, _ = _lower_constraint_set(node)
+    with _CACHE_LOCK:
+        _lru_put(_LOWERED_CACHE, key, lowered)
+    return lowered
+
+
+def _raw_kernel(node: Compilable, lowered: _Lowered, tier: str) -> Callable:
+    """The positional kernel function for ``lowered`` at ``tier`` (cached)."""
+    key = (tier, lowered.kind, lowered.text)
+    _bump("lookups")
+    with _CACHE_LOCK:
+        cached = _lru_get(_KERNEL_CACHE, key)
+    if cached is not None:
+        _bump("memory_hits")
+        return cached
+    source = _disk_read(lowered.digest)
+    if source is not None:
+        _bump("disk_hits")
+    else:
+        _bump("codegens")
+        generated, source = _generate_source(node)
+        assert generated.digest == lowered.digest  # key and source must agree
+        _disk_write(lowered.digest, source)
+    kernel = _compile_source(source, lowered.digest)
+    if tier == "numba":
+        kernel = _apply_numba(kernel, lowered)
+    with _CACHE_LOCK:
+        _lru_put(_KERNEL_CACHE, key, kernel)
+    return kernel
+
+
+def _make_predicate(kernel: Callable, variables: Tuple[str, ...]) -> CompiledPredicate:
+    """Bind a positional kernel to the caller's variable names.
+
+    The wrapper reproduces the closure compiler's input handling: each
+    variable array is converted to float64 (once, not per occurrence), a
+    missing variable raises :class:`UnknownVariableError`, and the whole
+    evaluation runs under the same ``errstate`` so domain errors stay silent
+    NaN/inf entries.
+    """
+    if not variables:
+
+        def constant_predicate(batch: SampleBatch) -> np.ndarray:
+            with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                return kernel(_batch_length(batch))
+
+        return constant_predicate
+
+    def predicate(batch: SampleBatch) -> np.ndarray:
+        arrays = []
+        for name in variables:
+            try:
+                values = batch[name]
+            except KeyError as exc:
+                raise UnknownVariableError(name) from exc
+            arrays.append(np.asarray(values, dtype=float))
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            return kernel(len(arrays[0]), *arrays)
+
+    return predicate
+
+
+def _closure_kernel(node: Compilable) -> CompiledPredicate:
+    """The reference closure-tree evaluator, cached like every other tier."""
+    kind = "pc" if isinstance(node, ast.PathCondition) else "cs"
+    key = ("closure", kind, node.canonical() if kind == "pc" else str(node))
+    _bump("lookups")
+    with _CACHE_LOCK:
+        cached = _lru_get(_KERNEL_CACHE, key)
+    if cached is not None:
+        _bump("memory_hits")
+        return cached
+    _bump("codegens")
+    if isinstance(node, ast.PathCondition):
+        predicate = compile_path_condition(node)
+    else:
+        predicate = compile_constraint_set(node)
+    with _CACHE_LOCK:
+        _lru_put(_KERNEL_CACHE, key, predicate)
+    return predicate
+
+
+# --------------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------------- #
+def _normalise(constraint: Compilable) -> Union[ast.PathCondition, ast.ConstraintSet]:
+    if isinstance(constraint, ast.Constraint):
+        return ast.PathCondition.of([constraint])
+    if isinstance(constraint, (ast.PathCondition, ast.ConstraintSet)):
+        return constraint
+    raise EvaluationError(f"cannot build a kernel for node of type {type(constraint).__name__}")
+
+
+def get_kernel(constraint: Compilable, tier: Optional[str] = None) -> CompiledPredicate:
+    """The cached compiled predicate of ``constraint`` at the selected tier.
+
+    This is the one entry point every evaluator goes through: it replaces the
+    previously scattered ``compile_path_condition`` call sites and their
+    ad-hoc per-module caches.  The returned callable has the exact
+    :data:`~repro.lang.compiler.CompiledPredicate` contract — sample batch in,
+    boolean hit array out — and is bit-identical across tiers.
+
+    Args:
+        constraint: An atomic constraint, path condition, or constraint set.
+        tier: Kernel tier override for this call; defaults to
+            :func:`current_kernel_tier` (``--kernel-tier`` / ``QCORAL_KERNEL_TIER``).
+    """
+    node = _normalise(constraint)
+    resolved = _resolve_tier(tier)
+    if resolved == "closure":
+        return _closure_kernel(node)
+    lowered = _lowered_for(node)
+    kernel = _raw_kernel(node, lowered, resolved)
+    return _make_predicate(kernel, lowered.variables)
+
+
+def kernel_source(constraint: Compilable) -> str:
+    """The generated fused-kernel source of ``constraint`` (for inspection)."""
+    _, source = _generate_source(_normalise(constraint))
+    return source
+
+
+def kernel_key(constraint: Compilable) -> str:
+    """The alpha-renamed canonical cache key of ``constraint``."""
+    return _lowered_for(_normalise(constraint)).text
+
+
+def kernel_digest(constraint: Compilable) -> str:
+    """The persistent-cache digest (version + kind + canonical key)."""
+    return _lowered_for(_normalise(constraint)).digest

@@ -32,7 +32,7 @@ from repro.core.profiles import (
     UsageProfile,
 )
 from repro.lang import ast
-from repro.lang.compiler import compile_path_condition
+from repro.lang.kernel import get_kernel
 from repro.lang.parser import parse_path_condition
 
 #: Enumeration ceiling: all-discrete subjects above this many atoms report no
@@ -91,7 +91,9 @@ def exact_probability(pc: ast.PathCondition, profile: UsageProfile) -> Optional[
     weights = np.ones(total_atoms)
     for grid in weight_grids:
         weights = weights * grid.ravel()
-    hits = compile_path_condition(pc)(batch)
+    # Routed through the shared kernel cache: repeated exact_probability
+    # calls (tests, benchmarks) no longer recompile the path condition.
+    hits = get_kernel(pc)(batch)
     return float(weights[hits].sum())
 
 

@@ -1,0 +1,486 @@
+"""Fused-kernel compiler: closure-oracle equivalence, caching, and tiers.
+
+The closure-tree compiler (:mod:`repro.lang.compiler`) is the reference
+oracle; every test here holds the fused codegen to *bit-identical* outputs —
+including the domain-error semantics (division by zero, roots/logs of
+negatives) that feed hit counts — and pins the cache-key contract:
+alpha-equivalent constraints share one kernel, a version bump invalidates,
+and the persistent source cache survives an in-process cache clear.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, UnknownFunctionError, UnknownVariableError
+from repro.lang import ast, kernel
+from repro.lang.compiler import compile_constraint_set, compile_path_condition
+from repro.lang.kernel import (
+    clear_kernel_cache,
+    current_kernel_tier,
+    get_kernel,
+    kernel_cache_stats,
+    kernel_digest,
+    kernel_key,
+    kernel_source,
+    set_kernel_tier,
+)
+from repro.lang.parser import parse_constraint_set, parse_path_condition
+
+
+@pytest.fixture(autouse=True)
+def isolated_kernel_cache(tmp_path, monkeypatch):
+    """Every test gets an empty private disk cache and a reset tier."""
+    monkeypatch.setenv(kernel.CACHE_DIR_ENV, str(tmp_path / "kernels"))
+    monkeypatch.delenv(kernel.TIER_ENV, raising=False)
+    monkeypatch.setattr(kernel, "_NUMBA_WARNED", False)
+    set_kernel_tier(None)
+    clear_kernel_cache()
+    yield
+    set_kernel_tier(None)
+    clear_kernel_cache()
+
+
+def random_batch(names, size=512, seed=0, low=-3.0, high=3.0):
+    rng = np.random.default_rng(seed)
+    return {name: rng.uniform(low, high, size) for name in names}
+
+
+# --------------------------------------------------------------------------- #
+# Closure-oracle equivalence
+# --------------------------------------------------------------------------- #
+PC_TEXTS = [
+    "x <= 0.5",
+    "x * y >= 18 && x + y <= 30",
+    "(x - 8.0) * (y - 9.0) <= 3.0 && x + 2.0 * y >= 20.0",
+    "sin(x * 0.4) + y * y <= 0.5",
+    "sqrt(x) + log(y) > 1 && x / (y - 2.0) <= 4",
+    "pow(x, 2.0) + pow(y, 2.0) <= 1 && atan2(y, x) >= 0",
+    "min(x, y) <= 0 && max(x, y) > 0 && abs(x - y) < 2.5",
+    "exp(x) > 1.5 && log10(abs(y) + 0.1) < 0.4",
+    "tanh(x) < 0.9 && cosh(y) < 10 && sinh(x) > -10",
+    "asin(x / 4.0) < 1 && acos(y / 4.0) > 0.1 && atan(x) < 1.5",
+    "-x <= y && -(x * y) < 5",
+]
+
+
+@pytest.mark.parametrize("text", PC_TEXTS)
+def test_fused_matches_closure_on_path_conditions(text):
+    pc = parse_path_condition(text)
+    batch = random_batch(sorted(pc.free_variables()), seed=7)
+    expected = compile_path_condition(pc)(batch)
+    observed = get_kernel(pc, tier="fused")(batch)
+    assert observed.dtype == np.bool_
+    assert np.array_equal(observed, expected)
+
+
+def test_fused_matches_closure_on_constraint_sets():
+    cs = parse_constraint_set(
+        "x <= 0.5 && y * y <= 0.3 || x > 0.5 && sin(x) + y <= 0.2 || x * y > 8.5"
+    )
+    batch = random_batch(["x", "y"], seed=11)
+    expected = compile_constraint_set(cs)(batch)
+    observed = get_kernel(cs, tier="fused")(batch)
+    assert np.array_equal(observed, expected)
+
+
+def test_atomic_constraint_and_empty_forms():
+    constraint = parse_path_condition("x <= 0.25").constraints[0]
+    batch = random_batch(["x"], seed=3)
+    assert np.array_equal(get_kernel(constraint)(batch), batch["x"] <= 0.25)
+
+    empty_pc = ast.PathCondition.of([])
+    assert np.array_equal(get_kernel(empty_pc)(batch), np.ones(512, dtype=bool))
+
+    empty_cs = ast.ConstraintSet.of([])
+    assert np.array_equal(get_kernel(empty_cs)(batch), np.zeros(512, dtype=bool))
+
+
+def test_variable_free_conjunct_broadcasts():
+    pc = parse_path_condition("1.0 <= 2.0 && x > 0")
+    batch = {"x": np.array([-1.0, 1.0])}
+    expected = compile_path_condition(pc)(batch)
+    assert np.array_equal(get_kernel(pc)(batch), expected)
+    assert list(expected) == [False, True]
+
+
+def test_early_exit_short_circuit_matches_closure():
+    # First (sorted) conjunct kills every sample; the kernel must return the
+    # all-false array without evaluating the rest, like the closure loop.
+    pc = parse_path_condition("x < -100 && sqrt(x) > 0")
+    batch = random_batch(["x"], seed=5, low=0.0, high=1.0)
+    expected = compile_path_condition(pc)(batch)
+    observed = get_kernel(pc)(batch)
+    assert not observed.any()
+    assert np.array_equal(observed, expected)
+
+
+def test_missing_variable_raises_like_closure():
+    pc = parse_path_condition("x + y <= 1")
+    with pytest.raises(UnknownVariableError):
+        get_kernel(pc)({"x": np.zeros(4)})
+
+
+def test_unknown_function_raises_at_compile_time():
+    pc = ast.PathCondition.of(
+        [ast.Constraint("<=", ast.call("frobnicate", ast.var("x")), ast.const(1))]
+    )
+    with pytest.raises(UnknownFunctionError):
+        get_kernel(pc)
+
+
+# --------------------------------------------------------------------------- #
+# Division-by-zero and domain-error semantics (satellite: pin NaN handling)
+# --------------------------------------------------------------------------- #
+def test_division_semantics_zero_over_zero_and_x_over_zero():
+    pc = parse_path_condition("x / y >= 0")
+    batch = {
+        "x": np.array([0.0, 1.0, -1.0, 2.0]),
+        "y": np.array([0.0, 0.0, 0.0, 1.0]),
+    }
+    expected = compile_path_condition(pc)(batch)
+    observed = get_kernel(pc)(batch)
+    # 0/0 -> NaN (comparison unsatisfied), 1/0 -> +inf (satisfied),
+    # -1/0 -> -inf (unsatisfied), 2/1 -> 2.0 (satisfied).
+    assert list(expected) == [False, True, False, True]
+    assert np.array_equal(observed, expected)
+
+
+def test_division_by_zero_denominator_in_subexpression():
+    pc = parse_path_condition("1.0 / (x - x) <= 100")
+    batch = {"x": np.array([1.0, -2.0])}
+    expected = compile_path_condition(pc)(batch)
+    observed = get_kernel(pc)(batch)
+    assert not observed.any()  # +inf <= 100 is false everywhere
+    assert np.array_equal(observed, expected)
+
+
+@pytest.mark.parametrize(
+    "text, values, expected",
+    [
+        # sqrt of a negative -> NaN -> unsatisfied either way.
+        ("sqrt(x) <= 10", [-1.0, 4.0], [False, True]),
+        ("sqrt(x) > -10", [-1.0, 4.0], [False, True]),
+        # log of zero -> -inf (ordered); log of a negative -> NaN.
+        ("log(x) >= -1000", [0.0, -1.0, 1.0], [False, False, True]),
+        ("log(x) < 0", [0.0, -1.0, 0.5], [True, False, True]),
+        # asin outside [-1, 1] -> NaN.
+        ("asin(x) <= 2", [-3.0, 0.5], [False, True]),
+        # exp overflow -> +inf, still ordered.
+        ("exp(x) > 0", [1000.0, 0.0], [True, True]),
+    ],
+)
+def test_domain_error_semantics_match_closure(text, values, expected):
+    pc = parse_path_condition(text)
+    batch = {"x": np.array(values)}
+    closure_hits = compile_path_condition(pc)(batch)
+    fused_hits = get_kernel(pc)(batch)
+    assert list(closure_hits) == expected
+    assert np.array_equal(fused_hits, closure_hits)
+
+
+def test_domain_errors_raise_no_warnings():
+    pc = parse_path_condition("sqrt(x) <= 1 && log(x) >= -10 && 1.0 / x <= 5")
+    batch = {"x": np.array([-1.0, 0.0, 0.5])}
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        get_kernel(pc)(batch)
+
+
+def test_hit_counts_identical_closure_vs_fused_on_domain_error_heavy_batch():
+    pc = parse_path_condition("sqrt(x) + log(y) > 0.1 && x / y <= 2.0")
+    batch = random_batch(["x", "y"], size=4096, seed=13)  # negatives included
+    closure_hits = int(np.count_nonzero(compile_path_condition(pc)(batch)))
+    fused_hits = int(np.count_nonzero(get_kernel(pc)(batch)))
+    assert fused_hits == closure_hits
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis: random ASTs, fused == closure element-wise
+# --------------------------------------------------------------------------- #
+VARIABLES = ("x", "y", "z")
+
+_UNARY_FUNCTIONS = sorted(kernel._UNARY_NUMPY)
+_BINARY_FUNCTIONS = sorted(kernel._BINARY_NUMPY)
+
+
+def _expressions():
+    leaves = st.one_of(
+        st.sampled_from(VARIABLES).map(ast.var),
+        st.floats(-4.0, 4.0, allow_nan=False).map(ast.const),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(ast.ARITHMETIC_OPERATORS), children, children).map(
+                lambda t: ast.BinaryOp(t[0], t[1], t[2])
+            ),
+            children.map(ast.neg),
+            st.tuples(st.sampled_from(_UNARY_FUNCTIONS), children).map(lambda t: ast.call(t[0], t[1])),
+            st.tuples(st.sampled_from(_BINARY_FUNCTIONS), children, children).map(
+                lambda t: ast.call(t[0], t[1], t[2])
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+def _constraints():
+    return st.tuples(
+        st.sampled_from(ast.COMPARISON_OPERATORS), _expressions(), _expressions()
+    ).map(lambda t: ast.Constraint(t[0], t[1], t[2]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    constraints=st.lists(_constraints(), min_size=1, max_size=4),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_random_ast_fused_equals_closure(constraints, seed):
+    pc = ast.PathCondition.of(constraints)
+    batch = random_batch(VARIABLES, size=64, seed=seed)
+    expected = compile_path_condition(pc)(batch)
+    observed = get_kernel(pc, tier="fused")(batch)
+    assert np.array_equal(observed, expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    path_conditions=st.lists(st.lists(_constraints(), min_size=1, max_size=3), min_size=1, max_size=3),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_random_ast_constraint_set_fused_equals_closure(path_conditions, seed):
+    cs = ast.ConstraintSet.of([ast.PathCondition.of(cs) for cs in path_conditions])
+    batch = random_batch(VARIABLES, size=64, seed=seed)
+    expected = compile_constraint_set(cs)(batch)
+    observed = get_kernel(cs, tier="fused")(batch)
+    assert np.array_equal(observed, expected)
+
+
+# --------------------------------------------------------------------------- #
+# Cache keys: alpha equivalence, version invalidation, two-tier behaviour
+# --------------------------------------------------------------------------- #
+def test_alpha_equivalent_constraints_share_a_kernel():
+    first = parse_path_condition("x * x + y <= 1 && y > 0")
+    second = parse_path_condition("u * u + v <= 1 && v > 0")
+    assert kernel_key(first) == kernel_key(second)
+    assert kernel_digest(first) == kernel_digest(second)
+
+    get_kernel(first)
+    before = kernel_cache_stats()
+    get_kernel(second)  # same kernel, different wrapper binding u/v
+    after = kernel_cache_stats()
+    assert after.memory_hits == before.memory_hits + 1
+    assert after.codegens == before.codegens
+
+    batch = random_batch(["u", "v"], seed=2)
+    expected = compile_path_condition(second)(batch)
+    assert np.array_equal(get_kernel(second)(batch), expected)
+
+
+def test_different_constraints_do_not_share_keys():
+    assert kernel_digest(parse_path_condition("x <= 1")) != kernel_digest(parse_path_condition("x < 1"))
+    assert kernel_digest(parse_path_condition("x <= 1")) != kernel_digest(parse_path_condition("x <= 2"))
+
+
+def test_version_tag_bump_invalidates_cached_kernels(monkeypatch):
+    pc = parse_path_condition("x * y <= 0.5")
+    old_digest = kernel_digest(pc)
+    get_kernel(pc)
+    assert kernel_cache_stats().codegens == 1
+
+    monkeypatch.setattr(kernel, "KERNEL_VERSION", "qcoral-kernel-TEST")
+    clear_kernel_cache()  # drop the in-memory tier; the disk file survives
+    assert kernel_digest(pc) != old_digest
+    get_kernel(pc)
+    stats = kernel_cache_stats()
+    assert stats.codegens == 1  # regenerated: the old disk entry keys differently
+    assert stats.disk_hits == 0
+
+
+def test_disk_cache_survives_memory_clear_and_rejects_corruption(tmp_path):
+    pc = parse_path_condition("x + y * y <= 2.5")
+    get_kernel(pc)
+    assert kernel_cache_stats().codegens == 1
+    path = kernel._disk_path(kernel_digest(pc))
+    assert path is not None and path.startswith(str(tmp_path))
+
+    clear_kernel_cache()
+    get_kernel(pc)  # simulates a fresh worker process: source comes from disk
+    stats = kernel_cache_stats()
+    assert stats.disk_hits == 1
+    assert stats.codegens == 0
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# corrupted\n")
+    clear_kernel_cache()
+    get_kernel(pc)
+    assert kernel_cache_stats().codegens == 1  # corrupt file regenerated, not trusted
+
+
+def test_disk_cache_can_be_disabled(monkeypatch):
+    monkeypatch.setenv(kernel.DISK_CACHE_ENV, "0")
+    assert kernel.kernel_cache_dir() is None
+    pc = parse_path_condition("x <= 0.125")
+    get_kernel(pc)
+    clear_kernel_cache()
+    get_kernel(pc)
+    stats = kernel_cache_stats()
+    assert stats.disk_hits == 0
+    assert stats.codegens == 1
+
+
+def test_clear_kernel_cache_disk_removes_sources():
+    pc = parse_path_condition("x <= 0.0625")
+    get_kernel(pc)
+    path = kernel._disk_path(kernel_digest(pc))
+    import os
+
+    assert os.path.exists(path)
+    clear_kernel_cache(disk=True)
+    assert not os.path.exists(path)
+
+
+def test_lru_capacity_is_bounded(monkeypatch):
+    monkeypatch.setenv(kernel.CACHE_SIZE_ENV, "4")
+    for index in range(10):
+        get_kernel(parse_path_condition(f"x <= {float(index)}"))
+    assert len(kernel._KERNEL_CACHE) <= 4
+
+
+def test_kernel_source_is_deterministic_and_headed():
+    pc = parse_path_condition("x * y >= 18 && x + y <= 30")
+    source = kernel_source(pc)
+    assert source == kernel_source(pc)
+    assert f"# version: {kernel.KERNEL_VERSION}" in source
+    assert f"# key-sha256: {kernel_digest(pc)}" in source
+    assert source.count("def qcoral_kernel(") == 1
+
+
+def test_common_subexpressions_are_fused_once():
+    # x * y appears in both conjuncts; the kernel must compute it once.
+    pc = parse_path_condition("x * y >= 10.0 && x * y <= 60.0")
+    source = kernel_source(pc)
+    assert source.count("v0 * v1") == 1
+
+
+# --------------------------------------------------------------------------- #
+# Tier selection
+# --------------------------------------------------------------------------- #
+def test_tier_resolution_env_override_and_validation(monkeypatch):
+    assert current_kernel_tier() == "fused"
+    monkeypatch.setenv(kernel.TIER_ENV, "closure")
+    assert current_kernel_tier() == "closure"
+    set_kernel_tier("fused")
+    assert current_kernel_tier() == "fused"
+    set_kernel_tier(None)
+    assert current_kernel_tier() == "closure"
+    monkeypatch.setenv(kernel.TIER_ENV, "warp-drive")
+    with pytest.raises(ConfigurationError):
+        current_kernel_tier()
+    with pytest.raises(ConfigurationError):
+        set_kernel_tier("warp-drive")
+
+
+def test_closure_tier_is_cached_and_equivalent():
+    pc = parse_path_condition("x * x + y * y <= 1")
+    batch = random_batch(["x", "y"], seed=21, low=-1.0, high=1.0)
+    closure = get_kernel(pc, tier="closure")
+    fused = get_kernel(pc, tier="fused")
+    assert np.array_equal(closure(batch), fused(batch))
+    before = kernel_cache_stats()
+    get_kernel(pc, tier="closure")
+    assert kernel_cache_stats().memory_hits == before.memory_hits + 1
+
+
+def test_numba_tier_degrades_gracefully():
+    pc = parse_path_condition("x * y >= 18 && x + y <= 30 && x / y <= 4")
+    batch = random_batch(["x", "y"], seed=23, low=-5.0, high=35.0)
+    expected = compile_path_condition(pc)(batch)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        observed = get_kernel(pc, tier="numba")(batch)
+    assert np.array_equal(observed, expected)
+    if kernel._numba_njit() is None:
+        assert kernel_cache_stats().numba_fallbacks >= 1
+        assert any("numba" in str(w.message) for w in caught)
+
+
+def test_auto_tier_resolves_to_an_available_backend():
+    resolved = kernel._resolve_tier("auto")
+    expected = "numba" if kernel._numba_njit() is not None else "fused"
+    assert resolved == expected
+
+
+# --------------------------------------------------------------------------- #
+# Thread safety and pipeline bit-identity
+# --------------------------------------------------------------------------- #
+def test_get_kernel_is_thread_safe():
+    texts = [f"x * y >= {float(index)} && x + y <= 30" for index in range(6)]
+    pcs = [parse_path_condition(text) for text in texts]
+    batch = random_batch(["x", "y"], seed=29, low=-5.0, high=35.0)
+    expected = [compile_path_condition(pc)(batch) for pc in pcs]
+    failures = []
+
+    def worker(worker_index):
+        try:
+            for repeat in range(25):
+                index = (worker_index + repeat) % len(pcs)
+                observed = get_kernel(pcs[index])(batch)
+                if not np.array_equal(observed, expected[index]):
+                    failures.append(index)
+        except Exception as error:  # pragma: no cover - only on regression
+            failures.append(error)
+
+    threads = [threading.Thread(target=worker, args=(index,)) for index in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures
+
+
+def test_engine_estimates_bit_identical_across_tiers():
+    from repro.api import Session
+
+    results = {}
+    for tier in ("closure", "fused"):
+        set_kernel_tier(tier)
+        clear_kernel_cache()
+        with Session() as session:
+            report = (
+                session.quantify(
+                    "x * x + y * y <= 1 && x / (y + 2.0) <= 0.4",
+                    {"x": (-1, 1), "y": (-1, 1)},
+                )
+                .with_budget(20_000)
+                .seed(3)
+                .run()
+            )
+        results[tier] = (report.mean, report.std, report.total_samples)
+    assert results["closure"] == results["fused"]
+
+
+def test_sharded_worker_path_bit_identical_across_tiers():
+    from repro.core.montecarlo import hit_or_miss_sharded
+    from repro.core.profiles import UsageProfile
+    from repro.exec import SeedStream, ThreadPoolExecutor
+
+    pc = parse_path_condition("x * y >= 18 && x + y <= 30")
+    profile = UsageProfile.uniform({"x": (0.0, 30.0), "y": (0.0, 40.0)})
+    counts = {}
+    for tier in ("closure", "fused"):
+        set_kernel_tier(tier)
+        clear_kernel_cache()
+        with ThreadPoolExecutor(2) as pool:
+            result = hit_or_miss_sharded(
+                pc, profile, 60_000, SeedStream(123), executor=pool, chunk_size=10_000
+            )
+        counts[tier] = (result.hits, result.samples)
+    assert counts["closure"] == counts["fused"]
