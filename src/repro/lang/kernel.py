@@ -55,13 +55,14 @@ codegen change invalidates every stale entry.  Two tiers of cache:
   ``QCORAL_KERNEL_DISK_CACHE=0``), so repeated runs and freshly forked
   ProcessPool workers skip codegen — the JIT-cache pattern Bodo uses for
   repeated pandas/numpy workloads.  Files are written atomically and
-  validated (version + key digest) before reuse, so a corrupt or stale file
-  is regenerated, never trusted.
+  validated (version + key digest + a sha256 of the function body) before
+  reuse, so a corrupt, stale, or tampered file is regenerated, never trusted.
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
 import os
 import tempfile
 import threading
@@ -87,7 +88,7 @@ from repro.lang.substitution import substitute_constraint
 #: Version tag of the kernel codegen.  Folded into every cache key (memory and
 #: disk), so bumping it invalidates all previously emitted kernels; bump on any
 #: change to the generated source or its semantics.
-KERNEL_VERSION = "qcoral-kernel-2"
+KERNEL_VERSION = "qcoral-kernel-3"
 
 #: Selectable kernel tiers (see module docstring).
 KERNEL_TIERS = ("auto", "fused", "numba", "closure")
@@ -99,7 +100,8 @@ TIER_ENV = "QCORAL_KERNEL_TIER"
 #: Environment variable overriding the persistent cache directory.
 CACHE_DIR_ENV = "QCORAL_KERNEL_CACHE_DIR"
 
-#: Environment variable disabling the persistent cache (``0``/``false``).
+#: Environment variable disabling the persistent cache; case-insensitive
+#: ``0``/``false``/``no``/``off`` disable, anything else (or unset) enables.
 DISK_CACHE_ENV = "QCORAL_KERNEL_DISK_CACHE"
 
 #: Environment variable bounding the in-process LRU (entries, default 4096).
@@ -300,8 +302,17 @@ class _Emitter:
         if isinstance(expr, ast.Constant):
             # np.float64, not a bare literal: constant-constant arithmetic must
             # follow IEEE semantics (1.0/0.0 -> inf), never raise ZeroDivisionError
-            # the way scalar Python floats would.
-            return f"np.float64({float(expr.value)!r})"
+            # the way scalar Python floats would.  Non-finite values have no
+            # repr that evaluates (`inf`/`nan` are not names in the kernel
+            # namespace), so they are spelled via np.inf/np.nan — reachable
+            # from ordinary inputs: `x < 1e999` parses to Constant(inf), and
+            # simplify folds 1.0/0.0 to Constant(inf).
+            value = float(expr.value)
+            if math.isnan(value):
+                return "np.float64(np.nan)"
+            if math.isinf(value):
+                return "np.float64(np.inf)" if value > 0 else "np.float64(-np.inf)"
+            return f"np.float64({value!r})"
         if isinstance(expr, ast.Variable):
             return _arg_name(expr.name)
         key = expr.canonical()
@@ -358,18 +369,24 @@ class _Emitter:
         return name
 
 
+#: Header line carrying the sha256 of everything after it (the function body),
+#: so :func:`_disk_read` can reject a tampered or truncated cache file.
+_BODY_SHA_PREFIX = "# source-sha256: "
+
+
 def _render(lowered: _Lowered, body: Sequence[str]) -> str:
     """Assemble the final kernel source with its validation header."""
     args = ", ".join(["n"] + [f"v{index}" for index in range(len(lowered.variables))])
+    code_lines = [f"def {_KERNEL_FUNC}({args}):"] + [f"    {line}" for line in body]
+    code = "\n".join(code_lines) + "\n"
     header = [
         "# qcoral fused kernel (generated; do not edit)",
         f"# version: {KERNEL_VERSION}",
         f"# kind: {lowered.kind}",
         f"# key-sha256: {lowered.digest}",
-        f"def {_KERNEL_FUNC}({args}):",
+        f"{_BODY_SHA_PREFIX}{hashlib.sha256(code.encode('utf-8')).hexdigest()}",
     ]
-    indented = [f"    {line}" for line in body]
-    return "\n".join(header + indented) + "\n"
+    return "\n".join(header) + "\n" + code
 
 
 def _generate_source(node: Compilable) -> Tuple[_Lowered, str]:
@@ -414,9 +431,14 @@ def _generate_source(node: Compilable) -> Tuple[_Lowered, str]:
 # --------------------------------------------------------------------------- #
 # Persistent on-disk source cache
 # --------------------------------------------------------------------------- #
+#: Normalised values of :data:`DISK_CACHE_ENV` that disable the disk cache;
+#: anything else (including unset or empty) leaves it enabled.
+_DISK_CACHE_DISABLED = frozenset({"0", "false", "no", "off"})
+
+
 def kernel_cache_dir() -> Optional[str]:
     """The persistent cache directory, or None when the disk tier is disabled."""
-    if os.environ.get(DISK_CACHE_ENV, "1") in ("0", "false", "False", ""):
+    if os.environ.get(DISK_CACHE_ENV, "").strip().lower() in _DISK_CACHE_DISABLED:
         return None
     custom = os.environ.get(CACHE_DIR_ENV, "").strip()
     if custom:
@@ -444,10 +466,19 @@ def _disk_read(digest: str) -> Optional[str]:
     except OSError:
         return None
     # Trust nothing: a file is reused only when its embedded version and key
-    # digest both match what we would generate.
+    # digest match what we would generate AND the body hashes to the value the
+    # header recorded at write time — a tampered or truncated body falls
+    # through to regeneration instead of being exec'd.
     if f"# version: {KERNEL_VERSION}" not in source or f"# key-sha256: {digest}" not in source:
         return None
-    if f"def {_KERNEL_FUNC}(" not in source:
+    marker = f"\n{_BODY_SHA_PREFIX}"
+    _head, separator, remainder = source.partition(marker)
+    if not separator:
+        return None
+    recorded, newline, body = remainder.partition("\n")
+    if not newline or not body.startswith(f"def {_KERNEL_FUNC}("):
+        return None
+    if hashlib.sha256(body.encode("utf-8")).hexdigest() != recorded.strip():
         return None
     return source
 
@@ -566,19 +597,26 @@ def _compile_source(source: str, digest: str) -> Callable:
     return namespace[_KERNEL_FUNC]  # type: ignore[return-value]
 
 
+#: Deterministic probe batch for the numba equivalence check: sign changes,
+#: zero, values past 1, extreme magnitudes (overflow-prone), a denormal, and
+#: the non-finite specials — the inputs where fastmath/libm skew shows up.
+_PROBE_VALUES = np.array(
+    [-2.0, -0.5, 0.0, 0.5, 1.0, 3.0, 1e300, -1e300, 5e-324, -5e-324, np.inf, -np.inf, np.nan]
+)
+
+
 def _probe_arrays(arity: int) -> List[np.ndarray]:
-    """A small deterministic batch covering sign changes, zero, and >1 values."""
-    base = np.array([-2.0, -0.5, 0.0, 0.5, 1.0, 3.0])
-    return [np.roll(base, index) for index in range(arity)]
+    return [np.roll(_PROBE_VALUES, index) for index in range(arity)]
 
 
 def _apply_numba(fused: Callable, lowered: _Lowered) -> Callable:
     """JIT the fused kernel, verifying it against the Python version.
 
-    The jitted kernel must reproduce the fused kernel bit-for-bit on a probe
-    batch; any compile error or mismatch falls back to the fused tier (with a
-    one-time warning), so a numba version skew can slow us down but never
-    change an estimate.
+    The jitted kernel must reproduce the fused kernel bit-for-bit on the
+    probe batch (:data:`_PROBE_VALUES`); any compile error or mismatch falls
+    back to the fused tier with a one-time warning.  The check is a probe,
+    not a proof: agreement on it is strong evidence, not a guarantee of
+    bit-identity on every input.
     """
     njit = _numba_njit()
     if njit is None:
@@ -588,9 +626,10 @@ def _apply_numba(fused: Callable, lowered: _Lowered) -> Callable:
     try:
         jitted = njit(fused)
         probe = _probe_arrays(len(lowered.variables))
+        length = _PROBE_VALUES.size
         with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-            expected = fused(6, *probe)
-            observed = jitted(6, *probe)
+            expected = fused(length, *probe)
+            observed = jitted(length, *probe)
         if not np.array_equal(np.asarray(observed), np.asarray(expected)):
             raise EvaluationError("jitted kernel disagrees with the fused kernel on the probe batch")
     except Exception as error:

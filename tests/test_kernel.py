@@ -202,6 +202,47 @@ def test_hit_counts_identical_closure_vs_fused_on_domain_error_heavy_batch():
 
 
 # --------------------------------------------------------------------------- #
+# Non-finite constants (regression: bare `inf`/`nan` are not kernel names)
+# --------------------------------------------------------------------------- #
+def test_overflowing_literal_parses_to_inf_and_fused_matches_closure():
+    # `1e999` overflows float64 at parse time, producing Constant(inf); the
+    # fused tier must emit it in a form that evaluates, not a bare `inf`.
+    pc = parse_path_condition("x < 1e999")
+    batch = {"x": np.array([-1.0, 0.0, 1e308, np.inf])}
+    expected = compile_path_condition(pc)(batch)
+    observed = get_kernel(pc, tier="fused")(batch)
+    assert list(expected) == [True, True, True, False]
+    assert np.array_equal(observed, expected)
+
+
+def test_simplify_folded_division_inf_constant_compiles():
+    from repro.lang.simplify import simplify_path_condition
+
+    # simplify folds 1.0/0.0 to Constant(inf) — the default analyzer path.
+    pc = simplify_path_condition(parse_path_condition("1.0 / 0.0 >= x"))
+    batch = {"x": np.array([0.0, np.inf, -np.inf])}
+    expected = compile_path_condition(pc)(batch)
+    observed = get_kernel(pc, tier="fused")(batch)
+    assert np.array_equal(observed, expected)
+
+
+@pytest.mark.parametrize("value", [np.inf, -np.inf, np.nan])
+def test_nonfinite_constants_fused_matches_closure(value):
+    pc = ast.PathCondition.of(
+        [
+            ast.Constraint("<=", ast.var("x"), ast.const(value)),
+            ast.Constraint(">", ast.BinaryOp("+", ast.var("x"), ast.const(value)), ast.const(0.0)),
+        ]
+    )
+    batch = {"x": np.array([-2.0, 0.0, 2.0, np.nan])}
+    expected = compile_path_condition(pc)(batch)
+    observed = get_kernel(pc, tier="fused")(batch)
+    assert np.array_equal(observed, expected)
+    source = kernel_source(pc)
+    assert "float64(inf" not in source and "float64(nan" not in source
+
+
+# --------------------------------------------------------------------------- #
 # Hypothesis: random ASTs, fused == closure element-wise
 # --------------------------------------------------------------------------- #
 VARIABLES = ("x", "y", "z")
@@ -214,6 +255,9 @@ def _expressions():
     leaves = st.one_of(
         st.sampled_from(VARIABLES).map(ast.var),
         st.floats(-4.0, 4.0, allow_nan=False).map(ast.const),
+        # Non-finite constants are reachable (overflowing literals, folded
+        # division by zero) and must round-trip through codegen.
+        st.sampled_from([float("inf"), float("-inf"), float("nan")]).map(ast.const),
     )
 
     def extend(children):
@@ -324,6 +368,28 @@ def test_disk_cache_survives_memory_clear_and_rejects_corruption(tmp_path):
     assert kernel_cache_stats().codegens == 1  # corrupt file regenerated, not trusted
 
 
+def test_disk_cache_rejects_tampered_body_with_intact_header(tmp_path):
+    # A file whose header lines survive but whose body was altered must not
+    # be exec'd: the body hash recorded at write time catches the tampering.
+    pc = parse_path_condition("x - y <= 1.25")
+    get_kernel(pc)
+    path = kernel._disk_path(kernel_digest(pc))
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    tampered = source.replace("out &=", "out |=")
+    assert tampered != source
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(tampered)
+
+    clear_kernel_cache()
+    batch = random_batch(["x", "y"], seed=17)
+    observed = get_kernel(pc)(batch)
+    stats = kernel_cache_stats()
+    assert stats.disk_hits == 0
+    assert stats.codegens == 1  # tampered file regenerated, not trusted
+    assert np.array_equal(observed, compile_path_condition(pc)(batch))
+
+
 def test_disk_cache_can_be_disabled(monkeypatch):
     monkeypatch.setenv(kernel.DISK_CACHE_ENV, "0")
     assert kernel.kernel_cache_dir() is None
@@ -334,6 +400,18 @@ def test_disk_cache_can_be_disabled(monkeypatch):
     stats = kernel_cache_stats()
     assert stats.disk_hits == 0
     assert stats.codegens == 1
+
+
+@pytest.mark.parametrize("value", ["0", "false", "FALSE", "No", " off ", "OFF"])
+def test_disk_cache_env_disabled_values_are_normalised(monkeypatch, value):
+    monkeypatch.setenv(kernel.DISK_CACHE_ENV, value)
+    assert kernel.kernel_cache_dir() is None
+
+
+@pytest.mark.parametrize("value", ["", "1", "true", "yes", "anything"])
+def test_disk_cache_env_other_values_keep_it_enabled(monkeypatch, value):
+    monkeypatch.setenv(kernel.DISK_CACHE_ENV, value)
+    assert kernel.kernel_cache_dir() is not None
 
 
 def test_clear_kernel_cache_disk_removes_sources():
