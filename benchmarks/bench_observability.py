@@ -1,0 +1,160 @@
+"""Overhead of the observability layer on a fixed-seed adaptive run.
+
+The observability layer promises to be *zero-perturbation* (fixed-seed
+results bit-identical with instrumentation on, off, or trace-sampled) and
+*cheap*: the disabled path is a couple of attribute lookups per site, and the
+enabled path only bumps counters and reads monotonic clocks.  This benchmark
+measures both claims on a many-round adaptive workload — the shape that
+exercises the per-round, per-factor instrumentation hardest:
+
+* **disabled** — no hub attached (the default for every existing caller);
+* **enabled** — a full :class:`~repro.obs.Observability` hub recording
+  counters, gauges, and histograms at every layer;
+* **traced** — the same hub with span tracing on, flushed to JSONL at the
+  end of the run (the flush is part of the timed region: it is real cost a
+  tracing user pays).
+
+``overhead_ratio`` (enabled / disabled, min-of-repeats) is gated at
+:data:`~check_regression.OBSERVABILITY_OVERHEAD_CEILING` (1.05) by
+``benchmarks/check_regression.py``; bit-identity of the three estimates is a
+hard, tolerance-free gate.
+
+Writes ``benchmarks/BENCH_observability.json``.  Directly runnable::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+try:
+    from benchmarks.conftest import FULL_SCALE, record_bench, repetitions, write_bench_summary
+except ImportError:  # executed directly: benchmarks/ is sys.path[0]
+    from conftest import FULL_SCALE, record_bench, repetitions, write_bench_summary
+from repro.api import Session
+from repro.core.qcoral import QCoralConfig
+from repro.obs import Observability
+
+#: Summary file this benchmark writes (uploaded as a CI artifact).
+SUMMARY_FILE = "BENCH_observability.json"
+
+#: The workload: a stratified constraint with an unreachable convergence
+#: target, so the adaptive loop runs all MAX_ROUNDS rounds and the per-round
+#: instrumentation fires MAX_ROUNDS times.
+CONSTRAINTS = "x*x + y*y <= 1 && y <= x + 1"
+BOUNDS = {"x": (-1.0, 1.0), "y": (-1.0, 1.0)}
+SEED = 42
+
+#: Total sampling budget and round count (reduced mode keeps CI fast while
+#: still timing ~1e6 predicate evaluations per mode).
+BUDGET = 40_000_000 if FULL_SCALE else 10_000_000
+MAX_ROUNDS = 40 if FULL_SCALE else 20
+
+
+def _config() -> QCoralConfig:
+    return QCoralConfig(
+        samples_per_query=BUDGET,
+        seed=SEED,
+        stratified=True,
+        partition_and_cache=True,
+        target_std=1e-12,  # unreachable: every round runs
+        max_rounds=MAX_ROUNDS,
+        initial_fraction=0.1,
+    )
+
+
+def run_once(mode: str, trace_path: Optional[str] = None) -> Dict:
+    """One timed run in ``mode`` (disabled/enabled/traced)."""
+    observability = None
+    if mode in ("enabled", "traced"):
+        observability = Observability(trace_path=trace_path if mode == "traced" else None)
+    started = time.perf_counter()
+    with Session(observability=observability) as session:
+        query = session.quantify(CONSTRAINTS, BOUNDS, config=_config())
+        report = query.run()
+    if mode == "traced" and observability is not None:
+        observability.flush_trace()
+    elapsed = time.perf_counter() - started
+    return {
+        "mode": mode,
+        "seconds": elapsed,
+        "mean": report.mean,
+        "std": report.std,
+        "samples": report.total_samples,
+        "rounds": report.rounds,
+    }
+
+
+def collect_results(repeats: Optional[int] = None) -> Dict:
+    """Sweep the three modes, best-of-``repeats``, and register the summary."""
+    repeats = repeats if repeats is not None else repetitions(default=3, full=10)
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = os.path.join(tmp, "bench_trace.jsonl")
+        runs: Dict[str, List[Dict]] = {"disabled": [], "enabled": [], "traced": []}
+        # Interleave the modes so drift (thermal, other tenants) hits each
+        # mode equally instead of biasing whichever ran last.
+        for _ in range(repeats):
+            for mode in runs:
+                if os.path.exists(trace_path):
+                    os.unlink(trace_path)
+                runs[mode].append(run_once(mode, trace_path=trace_path))
+    best = {mode: min(run["seconds"] for run in results) for mode, results in runs.items()}
+    estimates = {(run["mean"], run["std"], run["samples"]) for results in runs.values() for run in results}
+    payload = {
+        "budget": BUDGET,
+        "max_rounds": MAX_ROUNDS,
+        "seed": SEED,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "disabled_seconds": best["disabled"],
+        "enabled_seconds": best["enabled"],
+        "traced_seconds": best["traced"],
+        "overhead_ratio": best["enabled"] / best["disabled"] if best["disabled"] > 0 else 0.0,
+        "traced_overhead_ratio": best["traced"] / best["disabled"] if best["disabled"] > 0 else 0.0,
+        "bit_identical": len(estimates) == 1,
+        "mean": runs["disabled"][0]["mean"],
+        "rounds": runs["disabled"][0]["rounds"],
+        "runs": runs,
+    }
+    record_bench("observability", payload, summary=SUMMARY_FILE)
+    return payload
+
+
+class TestObservabilityBench:
+    def test_bit_identical_and_summary_registered(self):
+        payload = collect_results()
+        assert payload["bit_identical"], "observability perturbed a fixed-seed estimate"
+        assert payload["rounds"] == MAX_ROUNDS
+        assert payload["overhead_ratio"] > 0.0
+
+    # The <=5% wall-clock threshold itself gates in check_regression.py
+    # against the committed baseline, where the waiver escape hatch lives;
+    # asserting it here too would double-report the same noise.
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=None, help="timing repetitions (best-of)")
+    args = parser.parse_args(argv)
+    payload = collect_results(repeats=args.repeats)
+    print(
+        f"disabled {payload['disabled_seconds']:.3f}s | "
+        f"enabled {payload['enabled_seconds']:.3f}s "
+        f"(x{payload['overhead_ratio']:.4f}) | "
+        f"traced {payload['traced_seconds']:.3f}s "
+        f"(x{payload['traced_overhead_ratio']:.4f})"
+    )
+    print(f"bit identical across modes: {payload['bit_identical']}")
+    print(f"summary written to {write_bench_summary(SUMMARY_FILE)}")
+    if not FULL_SCALE:
+        print("(reduced mode: set QCORAL_BENCH_FULL=1 for the full-scale sweep)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

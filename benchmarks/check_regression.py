@@ -48,6 +48,11 @@ REUSE_FRACTION_TOLERANCE = 0.20
 #: bit-identity check below does not depend on timing at all.
 KERNEL_SPEEDUP_TOLERANCE = 0.50
 
+#: Hard ceiling on the enabled-mode observability overhead ratio
+#: (``BENCH_observability.json``): instrumentation costing more than 5% of
+#: the disabled run's wall-clock fails the gate.
+OBSERVABILITY_OVERHEAD_CEILING = 1.05
+
 #: Environment variable that downgrades failures to warnings.
 OVERRIDE_ENV = "QCORAL_BENCH_ALLOW_REGRESSION"
 
@@ -179,12 +184,43 @@ def compare_kernels(family: str, baseline: dict, fresh: dict) -> List[Finding]:
     return findings
 
 
+def compare_observability(family: str, baseline: dict, fresh: dict) -> List[Finding]:
+    """Observability summary: bit-identity is hard, overhead gates absolutely.
+
+    ``bit_identical`` compares the fresh run's three modes against each other
+    (like the kernel hit check, it needs no baseline and no tolerance).  The
+    enabled-mode overhead ratio gates against the fixed
+    :data:`OBSERVABILITY_OVERHEAD_CEILING` rather than the committed value:
+    the promise is "instrumentation costs at most 5%", not "no slower than
+    last time" — the committed baseline documents the trajectory and arms
+    this family, it is not the threshold.
+    """
+    findings: List[Finding] = []
+    payload = fresh.get("observability", {})
+    if not payload:
+        return findings
+    bit_identical = bool(payload.get("bit_identical"))
+    findings.append(Finding(family, "bit_identical", 1.0, float(bit_identical), not bit_identical))
+    ratio = float(payload.get("overhead_ratio", 0.0))
+    findings.append(
+        Finding(
+            family,
+            "enabled overhead_ratio",
+            OBSERVABILITY_OVERHEAD_CEILING,
+            ratio,
+            ratio > OBSERVABILITY_OVERHEAD_CEILING,
+        )
+    )
+    return findings
+
+
 #: Benchmark families and the comparator handling each.
 FAMILIES = (
     ("BENCH_adaptive.json", lambda b, f: compare_sigma_ratios("adaptive", b, f, "adaptive_allocation")),
     ("BENCH_importance.json", lambda b, f: compare_sigma_ratios("importance", b, f, "importance")),
     ("BENCH_store.json", lambda b, f: compare_reuse_fractions("store", b, f)),
     ("BENCH_kernels.json", lambda b, f: compare_kernels("kernels", b, f)),
+    ("BENCH_observability.json", lambda b, f: compare_observability("observability", b, f)),
 )
 
 

@@ -7,7 +7,8 @@ This walks through the public Session API, from lowest to highest level:
 2. compare the qCORAL feature configurations evaluated in the paper (Table 4);
 3. run the full pipeline of Figure 1 on a small program: symbolic execution
    followed by probabilistic analysis of a target event;
-4. stream an adaptive run round by round (with early stop in reach);
+4. stream an adaptive run round by round (with early stop in reach), with
+   live engine metrics from a zero-perturbation Observability hub;
 5. fan the sampling out over the parallel executor backends and check that
    the estimate is bit-identical on every backend for one master seed;
 6. persist per-factor estimates in a store and re-run warm: the second run
@@ -21,7 +22,7 @@ from __future__ import annotations
 import os
 import tempfile
 
-from repro import QCoralConfig, Session
+from repro import Observability, QCoralConfig, Session
 
 BOUNDS = {"x": (-1.0, 1.0), "y": (-1.0, 1.0)}
 
@@ -90,23 +91,33 @@ def analyze_a_program() -> None:
 
 
 def stream_an_adaptive_run() -> None:
-    """Per-round streaming: watch convergence, stop early whenever you like."""
+    """Per-round streaming: watch convergence, stop early whenever you like.
+
+    An Observability hub attached to the session streams live engine metrics
+    next to the round stream — zero-perturbation, so the estimates below are
+    bit-identical to a run without the hub.
+    """
     print("=" * 72)
-    print("4. Streaming an adaptive run (target sigma 5e-4)")
+    print("4. Streaming an adaptive run (target sigma 5e-4) with live metrics")
     print("=" * 72)
 
-    with Session() as session:
+    obs = Observability()
+    with Session(observability=obs) as session:
         query = session.quantify("x * x + y * y <= 1", BOUNDS).with_budget(200_000).seed(5)
         query = query.until(std=5e-4, rounds=8)
         stream = query.stream()
         for round_report in stream:
+            metrics = obs.snapshot()
             print(
                 f"round {round_report.round_index}: +{round_report.allocated:6d} samples "
-                f"-> estimate={round_report.mean:.6f} sigma={round_report.std:.2e}"
+                f"-> estimate={round_report.mean:.6f} sigma={round_report.std:.2e}  "
+                f"[draws={metrics.counter_total('sampler_draws_total'):.0f} "
+                f"hits={metrics.counter_total('sampler_hits_total'):.0f}]"
             )
         report = stream.report
     status = "met" if report.met_target else "budget exhausted"
     print(f"final: {report.mean:.6f} after {report.total_samples} samples ({status})")
+    print(f"the same snapshot rides on the report: {report.metrics.counter_total('qcoral_rounds_total'):.0f} rounds")
     print()
 
 

@@ -34,6 +34,7 @@ lower layers (:mod:`repro.core`, :mod:`repro.exec`, :mod:`repro.store`,
 from __future__ import annotations
 
 import importlib
+import logging
 import warnings
 
 from repro.api import (
@@ -76,9 +77,11 @@ from repro.lang.kernel import (
     clear_kernel_cache,
     current_kernel_tier,
     get_kernel,
+    kernel_cache_info,
     kernel_cache_stats,
     set_kernel_tier,
 )
+from repro.obs import Observability
 from repro.lang.parser import (
     parse_constraint,
     parse_constraint_set,
@@ -97,6 +100,10 @@ from repro.store import (
 
 __version__ = "0.2.0"
 
+# Library convention: never emit log records unless the application opts in
+# (the CLI's --verbose does; embedders attach their own handlers).
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
 __all__ = [
     # Session facade (the documented public API)
     "Session",
@@ -107,6 +114,8 @@ __all__ = [
     "register_method",
     "register_executor",
     "register_store_backend",
+    # Observability (zero-perturbation spans + metrics)
+    "Observability",
     # Profiles and the constraint language
     "Estimate",
     "UsageProfile",
@@ -131,6 +140,7 @@ __all__ = [
     "set_kernel_tier",
     "current_kernel_tier",
     "kernel_cache_stats",
+    "kernel_cache_info",
     "clear_kernel_cache",
     # Engine layer (stable, non-deprecated lower-level surface)
     "QCoralAnalyzer",

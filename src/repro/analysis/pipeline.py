@@ -18,6 +18,7 @@ from repro.core.profiles import UsageProfile
 from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult, RoundReport
 from repro.errors import AnalysisError
 from repro.exec.executor import Executor
+from repro.obs import Observability
 from repro.store.backends import EstimateStore
 from repro.symexec.ast import Program
 from repro.symexec.parser import parse_program
@@ -122,6 +123,7 @@ class ProbabilisticAnalysisPipeline:
         max_paths: int = 100_000,
         executor: Optional[Executor] = None,
         store: Optional[EstimateStore] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         self._program = parse_program(program) if isinstance(program, str) else program
         self._profile = profile if profile is not None else UsageProfile.uniform(self._program.input_bounds())
@@ -130,6 +132,7 @@ class ProbabilisticAnalysisPipeline:
         self._max_paths = max_paths
         self._executor = executor
         self._store = store
+        self._observability = observability
         self._symbolic_result: Optional[SymbolicExecutionResult] = None
         self._analyzer: Optional[QCoralAnalyzer] = None
         self._closed = False
@@ -165,7 +168,13 @@ class ProbabilisticAnalysisPipeline:
         on the same worker pool and reuses/merges against the same store.
         """
         if self._analyzer is None:
-            self._analyzer = QCoralAnalyzer(self._profile, self._config, executor=self._executor, store=self._store)
+            self._analyzer = QCoralAnalyzer(
+                self._profile,
+                self._config,
+                executor=self._executor,
+                store=self._store,
+                observability=self._observability,
+            )
         return self._analyzer
 
     @property

@@ -28,6 +28,7 @@ from repro.core.estimate import Estimate
 from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, RoundReport
 from repro.errors import AnalysisError, ConfigurationError
 from repro.lang.ast import ConstraintSet
+from repro.obs import Observability
 from repro.symexec.ast import Program
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session builds queries)
@@ -149,6 +150,9 @@ class Query:
     _profile: Optional[object]
     _base: QCoralConfig
     _settings: Tuple[Tuple[str, Any], ...] = ()
+    _tracing: bool = False
+    _trace_path: Optional[str] = None
+    _trace_sample_every: int = 1
 
     # ------------------------------------------------------------------ #
     # Fluent refinement (every method returns a NEW query)
@@ -227,6 +231,23 @@ class Query:
         """Persistent estimate store override for this query (registry-resolved)."""
         return self._with(store_path=path, store_backend=backend, store_readonly=readonly)
 
+    def with_tracing(self, path: Optional[str] = None, *, sample_every: int = 1) -> "Query":
+        """Enable observability for this query with a private hub.
+
+        The run records the full metrics surface (exposed as
+        :attr:`Report.metrics <repro.api.report.Report.metrics>`) and, with a
+        ``path``, appends the tracing spans to it as JSONL when the run
+        finishes — even on error.  ``sample_every`` keeps every N-th span per
+        span name (deterministic counter-based sampling, so it never touches
+        an RNG stream; fixed-seed estimates stay bit-identical at any rate).
+
+        Overrides any session-level :class:`~repro.obs.Observability` hub for
+        this query only.
+        """
+        if sample_every < 1:
+            raise ConfigurationError(f"sample_every must be >= 1, not {sample_every}")
+        return replace(self, _tracing=True, _trace_path=path, _trace_sample_every=sample_every)
+
     # ------------------------------------------------------------------ #
     # Compilation and execution
     # ------------------------------------------------------------------ #
@@ -285,6 +306,14 @@ class Query:
         store = None
         if "store_path" not in settings and "store_backend" not in settings and not config.wants_store:
             store = session.store
+        # A query-level with_tracing() hub wins over the session's borrowed
+        # hub; it is owned by this execution, so its trace buffer is flushed
+        # here (session hubs are flushed by whoever constructed them).
+        observability = session.observability
+        owned_obs: Optional[Observability] = None
+        if self._tracing:
+            owned_obs = Observability(trace_path=self._trace_path, trace_sample_every=self._trace_sample_every)
+            observability = owned_obs
 
         if isinstance(self._target, _ConstraintTarget):
             if self._profile is None:
@@ -292,11 +321,13 @@ class Query:
                     "quantifying a constraint set needs a usage profile "
                     "(pass one to Session.quantify, e.g. {'x': (-1, 1)})"
                 )
-            analyzer = QCoralAnalyzer(self._profile, config, executor=executor, store=store)
+            analyzer = QCoralAnalyzer(self._profile, config, executor=executor, store=store, observability=observability)
             try:
                 result = yield from analyzer.analyze_stream(self._target.constraint_set)
             finally:
                 analyzer.close()
+                if owned_obs is not None:
+                    owned_obs.flush_trace()
             return Report.from_qcoral(result)
 
         # Program target: bounded symbolic execution, then quantification of
@@ -317,6 +348,7 @@ class Query:
             max_paths=target.max_paths,
             executor=executor,
             store=store,
+            observability=observability,
         )
         try:
             symbolic = pipeline.symbolic_execution()
@@ -350,4 +382,6 @@ class Query:
                 bounded = bounded_probability_estimate(analyzer, symbolic)
         finally:
             pipeline.close()
+            if owned_obs is not None:
+                owned_obs.flush_trace()
         return Report.from_qcoral(result, kind="program", event=target.event, bounded=bounded)

@@ -32,9 +32,15 @@ from typing import Any, Dict, Optional, Tuple
 from repro.core.cache import CacheStatistics
 from repro.core.estimate import Estimate
 from repro.core.qcoral import QCoralConfig, QCoralResult, RoundReport
+from repro.obs.metrics import MetricsSnapshot
+from repro.store.backends import StoreStatistics
 
 #: Version stamp of the ``to_dict()``/``to_json()`` schema (bump rule above).
-SCHEMA_VERSION = 1
+#: Version 2 adds the observability surface: a ``metrics`` block (the
+#: run's :class:`~repro.obs.metrics.MetricsSnapshot`, None when observability
+#: was disabled) and a ``store_stats`` block (persistent-store traffic
+#: counters, None without a store).
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -68,6 +74,10 @@ class Report:
     bounded: Optional[Estimate] = None
     trials: Optional[Tuple[Any, ...]] = None
     config: Optional[QCoralConfig] = None
+    #: Metrics snapshot of the run (None when observability was disabled).
+    metrics: Optional[MetricsSnapshot] = None
+    #: Persistent-store traffic counters (None when no store was attached).
+    store_statistics: Optional[StoreStatistics] = None
 
     # ------------------------------------------------------------------ #
     # Derived accessors (one vocabulary across all run kinds)
@@ -142,6 +152,8 @@ class Report:
             event=event,
             bounded=bounded,
             config=result.config,
+            metrics=result.metrics,
+            store_statistics=result.store_statistics,
         )
 
     @classmethod
@@ -195,6 +207,18 @@ class Report:
                 "store_publishes": statistics.store_publishes,
                 "store_merges": statistics.store_merges,
             }
+        store_stats = None
+        if self.store_statistics is not None:
+            stats = self.store_statistics
+            store_stats = {
+                "gets": stats.gets,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "merges": stats.merges,
+                "creates": stats.creates,
+                "writes": stats.writes,
+                "readonly_skips": stats.readonly_skips,
+            }
         trials = None
         if self.trials is not None:
             trials = [
@@ -234,6 +258,8 @@ class Report:
                 for report in self.round_reports
             ],
             "cache": cache,
+            "store_stats": store_stats,
+            "metrics": (None if self.metrics is None else self.metrics.to_dict()),
             "event": self.event,
             "bounded": (None if self.bounded is None else {"mean": self.bounded.mean, "std": self.bounded.std}),
             "trials": trials,

@@ -37,6 +37,7 @@ from repro.core.qcoral import QCoralConfig
 from repro.errors import ConfigurationError
 from repro.exec.executor import EXECUTOR_KINDS, Executor, make_executor
 from repro.lang.ast import ConstraintSet
+from repro.obs import Observability
 from repro.lang.parser import parse_constraint_set
 from repro.store.backends import STORE_BACKENDS, EstimateStore, open_store
 from repro.symexec.ast import Program
@@ -95,6 +96,12 @@ class Session:
             meaningful for path-less backends such as ``memory``).
         store_readonly: Open the store read-only (reuse without write-back).
         defaults: Base :class:`QCoralConfig` every query starts from.
+        observability: An :class:`~repro.obs.Observability` hub shared by
+            every query of this session — *borrowed*, never flushed or reset
+            here, so one hub can aggregate metrics across sessions.  None
+            runs with observability disabled (the zero-overhead path); a
+            query-level :meth:`~repro.api.query.Query.with_tracing` overrides
+            this per query.
     """
 
     def __init__(
@@ -106,7 +113,12 @@ class Session:
         store_backend: Optional[str] = None,
         store_readonly: bool = False,
         defaults: Optional[QCoralConfig] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
+        if observability is not None and not isinstance(observability, Observability):
+            raise ConfigurationError(
+                f"observability must be an Observability instance or None, not {type(observability).__name__}"
+            )
         if workers is not None and not isinstance(executor, str):
             raise ConfigurationError("workers requires an executor kind name to apply to")
         if isinstance(executor, str) and executor not in EXECUTOR_KINDS:
@@ -128,6 +140,7 @@ class Session:
         self._owns_executor = False
         self._store: Optional[EstimateStore] = store if isinstance(store, EstimateStore) else None
         self._owns_store = False
+        self._observability = observability
         self._closed = False
         # Guards the lazy executor/store creation: concurrent queries (e.g.
         # trials dispatched on a thread executor) must share one instance,
@@ -168,6 +181,11 @@ class Session:
     def defaults(self) -> QCoralConfig:
         """The base configuration every query of this session starts from."""
         return self._defaults
+
+    @property
+    def observability(self) -> Optional[Observability]:
+        """The borrowed observability hub shared by every query (or None)."""
+        return self._observability
 
     @property
     def closed(self) -> bool:

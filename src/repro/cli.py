@@ -23,6 +23,8 @@ without CLI edits.  ``--json`` on either command emits the versioned
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import os
 import sys
 from typing import Dict, Optional, Sequence
@@ -43,6 +45,7 @@ from repro.errors import ReproError
 from repro.exec.executor import EXECUTOR_KINDS
 from repro.lang.kernel import KERNEL_TIERS, TIER_ENV, set_kernel_tier
 from repro.lang.parser import parse_constraint_set
+from repro.obs import Observability
 from repro.store.backends import STORE_BACKENDS
 from repro.symexec.parser import parse_program
 
@@ -85,7 +88,18 @@ def _config_from_args(args: argparse.Namespace) -> QCoralConfig:
     )
 
 
-def _session_from_args(args: argparse.Namespace) -> Session:
+def _observability_from_args(args: argparse.Namespace) -> Optional[Observability]:
+    """An observability hub when any observability flag asks for one.
+
+    None (the zero-overhead disabled path) unless ``--trace`` or
+    ``--metrics`` is given; ``--verbose`` alone only configures logging.
+    """
+    if args.trace is None and args.metrics is None:
+        return None
+    return Observability(trace_path=args.trace, trace_sample_every=args.trace_sample_every)
+
+
+def _session_from_args(args: argparse.Namespace, observability: Optional[Observability] = None) -> Session:
     """A session owning the executor/store the command line names."""
     return Session(
         executor=args.executor,
@@ -93,7 +107,43 @@ def _session_from_args(args: argparse.Namespace) -> Session:
         store=args.store,
         store_backend=args.store_backend,
         store_readonly=args.store_readonly,
+        observability=observability,
     )
+
+
+def _emit_observability(args: argparse.Namespace, observability: Optional[Observability]) -> None:
+    """Flush the trace and print the requested metrics rendering.
+
+    The trace note goes to stderr so ``--json``/``--metrics`` output on
+    stdout stays machine-parseable.
+    """
+    if observability is None:
+        return
+    if args.trace is not None:
+        written = observability.flush_trace(args.trace)
+        print(f"trace: {written} spans appended to {args.trace}", file=sys.stderr)
+    if args.metrics == "prometheus":
+        print(observability.prometheus(), end="")
+    elif args.metrics == "json":
+        print(json.dumps(observability.snapshot().to_dict(), indent=2))
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Attach a stderr handler to the ``repro`` logger for ``-v``/``-vv``.
+
+    The library itself only ever installs a NullHandler (in
+    :mod:`repro.__init__`); the CLI is an application, so it may configure
+    real output.  Idempotent across :func:`main` calls (tests call it
+    repeatedly in one process).
+    """
+    if verbosity <= 0:
+        return
+    logger = logging.getLogger("repro")
+    logger.setLevel(logging.INFO if verbosity == 1 else logging.DEBUG)
+    if not any(isinstance(handler, logging.StreamHandler) for handler in logger.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        logger.addHandler(handler)
 
 
 def _common_parser() -> argparse.ArgumentParser:
@@ -210,6 +260,36 @@ def _common_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reuse stored estimates but write nothing back",
     )
+    common.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append the run's tracing spans to PATH as JSONL (zero "
+            "perturbation: fixed-seed results are bit-identical with tracing "
+            "on or off)"
+        ),
+    )
+    common.add_argument(
+        "--trace-sample-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="record every N-th span per span name (deterministic, RNG-free sampling)",
+    )
+    common.add_argument(
+        "--metrics",
+        choices=("json", "prometheus"),
+        default=None,
+        help="print the run's metrics to stdout in the chosen format after the summary",
+    )
+    common.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="engine logging on stderr (-v = INFO, -vv = DEBUG)",
+    )
     return common
 
 
@@ -257,10 +337,12 @@ def _command_analyze(args: argparse.Namespace) -> int:
         }
         distributions.update(overrides)
         profile = UsageProfile(distributions)
-    with _session_from_args(args) as session:
+    observability = _observability_from_args(args)
+    with _session_from_args(args, observability) as session:
         report = session.analyze(source, args.event, profile=profile, max_depth=args.max_depth, config=config).run()
     if args.json:
         print(report.to_json(indent=2))
+        _emit_observability(args, observability)
         return 0
     print(f"event:        {args.event}")
     print(f"paths:        {report.paths}")
@@ -276,6 +358,7 @@ def _command_analyze(args: argparse.Namespace) -> int:
     print(f"time:         {report.analysis_time:.2f}s")
     print(report.confidence_note)
     _print_rounds(args, report)
+    _emit_observability(args, observability)
     return 0
 
 
@@ -291,10 +374,12 @@ def _command_quantify(args: argparse.Namespace) -> int:
     constraint_set = parse_constraint_set(text)
     profile = UsageProfile(_parse_domain(args.domain))
     config = _config_from_args(args)
-    with _session_from_args(args) as session:
+    observability = _observability_from_args(args)
+    with _session_from_args(args, observability) as session:
         report = session.quantify(constraint_set, profile, config=config).run()
     if args.json:
         print(report.to_json(indent=2))
+        _emit_observability(args, observability)
         return 0
     print(f"configuration: {report.feature_label}")
     print(f"paths:         {report.paths}")
@@ -312,6 +397,7 @@ def _command_quantify(args: argparse.Namespace) -> int:
     if cache is not None and cache.lookups:
         print(f"reuse:         {reuse_summary(cache)}")
     _print_rounds(args, report)
+    _emit_observability(args, observability)
     return 0
 
 
@@ -364,6 +450,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose)
     try:
         if args.kernel_tier is not None:
             # Set the environment too so process-pool workers spawned later

@@ -25,12 +25,14 @@ corrupting entries or statistics.  L2 handles carry their own lock.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.core.estimate import Estimate
 from repro.lang import ast
 from repro.lang.simplify import simplify_path_condition
+from repro.obs import Observability, ensure_observability
 from repro.store.backends import EstimateStore
 from repro.store.entry import StoreEntry
 from repro.store.keys import FactorKey, StoreContext
@@ -90,6 +92,7 @@ class EstimateCache:
         self,
         store: Optional[EstimateStore] = None,
         context: Optional[StoreContext] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         if (store is None) != (context is None):
             raise ValueError("a store and its key context must be provided together")
@@ -97,6 +100,7 @@ class EstimateCache:
         self._statistics = CacheStatistics()
         self._store = store
         self._context = context
+        self._obs = ensure_observability(observability)
         # Reentrant so get_or_compute may call get/put while holding it.
         self._lock = threading.RLock()
 
@@ -164,6 +168,7 @@ class EstimateCache:
         """Count a factor that resumed sampling from stored counts."""
         with self._lock:
             self._statistics.warm_starts += 1
+        self._obs.count("store_warm_starts_total")
 
     def get_or_compute(self, factor: ast.PathCondition, compute: Callable[[], Estimate]) -> Estimate:
         """Return the cached estimate or compute, store, and return a new one.
@@ -193,7 +198,15 @@ class EstimateCache:
         """Stored raw counts for ``key``, updating the store counters."""
         if self._store is None:
             return None
-        entry = self._store.get(key.digest)
+        if self._obs.enabled:
+            started = time.perf_counter()
+            entry = self._store.get(key.digest)
+            self._obs.observe("store_get_seconds", time.perf_counter() - started)
+            self._obs.count("store_gets_total")
+            if entry is not None:
+                self._obs.count("store_hits_total")
+        else:
+            entry = self._store.get(key.digest)
         with self._lock:
             if entry is None:
                 self._statistics.store_misses += 1
@@ -211,7 +224,13 @@ class EstimateCache:
         """
         if self._store is None:
             return
-        self._store.merge(key.digest, delta.described(key.pc_text, key.fingerprint))
+        if self._obs.enabled:
+            started = time.perf_counter()
+            self._store.merge(key.digest, delta.described(key.pc_text, key.fingerprint))
+            self._obs.observe("store_merge_seconds", time.perf_counter() - started)
+            self._obs.count("store_publishes_total")
+        else:
+            self._store.merge(key.digest, delta.described(key.pc_text, key.fingerprint))
         if self._store.readonly:
             # The backend skipped the write (counted in its own statistics);
             # reporting it as published here would misstate what persisted.

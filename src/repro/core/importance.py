@@ -73,6 +73,7 @@ from repro.icp.solver import ICPSolver, PavedBox, Paving
 from repro.intervals.box import Box
 from repro.intervals.interval import Interval
 from repro.lang import ast
+from repro.obs import Observability
 
 #: Default cap on the number of strata after mass-driven refinement.
 DEFAULT_MASS_SPLIT_BOXES = 64
@@ -107,6 +108,8 @@ class ImportanceSampler(StratifiedSampler):
             (0 disables; see the module docstring for the write-off cost).
     """
 
+    method_label = "importance"
+
     def __init__(
         self,
         pc: ast.PathCondition,
@@ -120,6 +123,7 @@ class ImportanceSampler(StratifiedSampler):
         chunk_size: Optional[int] = None,
         max_boxes: int = DEFAULT_MASS_SPLIT_BOXES,
         adaptive_splits: int = 0,
+        observability: Optional[Observability] = None,
     ) -> None:
         if max_boxes < 1:
             raise ConfigurationError("importance sampling needs a positive stratum cap")
@@ -138,6 +142,7 @@ class ImportanceSampler(StratifiedSampler):
             executor=executor,
             seed_stream=seed_stream,
             chunk_size=chunk_size,
+            observability=observability,
         )
 
     # ------------------------------------------------------------------ #
@@ -178,6 +183,7 @@ class ImportanceSampler(StratifiedSampler):
             if children is None:
                 finished.append(paved)
                 continue
+            self._obs.count("importance_refinement_splits_total")
             for child in children:
                 admit(child)
 
@@ -281,6 +287,9 @@ class ImportanceSampler(StratifiedSampler):
                 continue
             self._adaptive_remaining -= 1
             self._discarded_samples += stratum.draw_count
+            if self._obs.enabled:
+                self._obs.count("importance_adaptive_splits_total")
+                self._obs.count("importance_discarded_samples_total", stratum.draw_count)
             replacement = [Stratum(child.box, self._profile.mass(child.box), child.inner) for child in children]
             self._strata[index : index + 1] = replacement
             if not any(stratum.sampleable for stratum in self._strata):

@@ -39,6 +39,7 @@ from repro.store.keys import importance_method, stratified_method
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.core.qcoral import QCoralConfig
+    from repro.obs import Observability
 
 #: Signature every registered sampler factory must satisfy; ``config`` is the
 #: run's :class:`~repro.core.qcoral.QCoralConfig`, from which method-specific
@@ -76,6 +77,7 @@ def _make_hit_or_miss(
     seed_stream: Optional[SeedStream],
     chunk_size: Optional[int],
     config: "QCoralConfig",
+    observability: Optional["Observability"] = None,
 ) -> StratifiedSampler:
     return StratifiedSampler(
         factor,
@@ -85,6 +87,7 @@ def _make_hit_or_miss(
         solver=solver,
         seed_stream=seed_stream,
         chunk_size=chunk_size,
+        observability=observability,
     )
 
 
@@ -98,6 +101,7 @@ def _make_importance(
     seed_stream: Optional[SeedStream],
     chunk_size: Optional[int],
     config: "QCoralConfig",
+    observability: Optional["Observability"] = None,
 ) -> StratifiedSampler:
     return ImportanceSampler(
         factor,
@@ -109,6 +113,7 @@ def _make_importance(
         chunk_size=chunk_size,
         max_boxes=config.mass_split_boxes,
         adaptive_splits=config.mass_split_adaptive,
+        observability=observability,
     )
 
 

@@ -66,9 +66,11 @@ from repro.icp.config import ICPConfig, PAPER_CONFIG
 from repro.icp.solver import ICPSolver
 from repro.lang import ast
 from repro.lang.analysis import group_constraints_by_block
-from repro.lang.kernel import get_kernel
+from repro.lang.kernel import KernelCacheStats, get_kernel, kernel_cache_stats
 from repro.lang.simplify import simplify_path_condition
-from repro.store.backends import STORE_BACKENDS, EstimateStore, open_store
+from repro.obs import Observability, ensure_observability
+from repro.obs.metrics import MetricsSnapshot
+from repro.store.backends import STORE_BACKENDS, EstimateStore, StoreStatistics, open_store
 from repro.store.entry import StoreEntry
 from repro.store.keys import FactorKey, StoreContext, mc_method
 
@@ -379,6 +381,14 @@ class QCoralResult:
     #: None when the run had no store.  Cross-run reuse shows up in
     #: :attr:`cache_statistics` (store hits, warm starts, merges).
     store: Optional[str] = None
+    #: Metrics snapshot of the run, None when the analyzer had no enabled
+    #: observability hub.  Deterministic counters (rounds, draws, hits) are
+    #: bit-identical across backends and worker counts; timing histograms and
+    #: per-worker-labelled series naturally vary.
+    metrics: Optional[MetricsSnapshot] = None
+    #: Activity counters of the persistent store *handle* (shared across every
+    #: run using that handle), None when the run had no store.
+    store_statistics: Optional[StoreStatistics] = None
 
     @property
     def mean(self) -> float:
@@ -511,12 +521,17 @@ class QCoralAnalyzer:
         config: QCoralConfig = QCoralConfig(),
         executor: Optional[Executor] = None,
         store: Optional[EstimateStore] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         self._profile = profile
         self._config = config
         self._solver = ICPSolver(config.icp)
         self._rng = np.random.default_rng(config.seed)
         self._seed_stream = SeedStream(config.seed)
+        # Borrowed, like executors/stores: the hub outlives the analyzer and
+        # accumulates across analyses.  ``None`` resolves to the disabled
+        # singleton, whose operations are no-ops (the zero-overhead path).
+        self._obs = ensure_observability(observability)
         if executor is not None:
             # A caller-supplied executor (e.g. a pool shared across
             # analyzers) is borrowed, never shut down here.
@@ -546,12 +561,12 @@ class QCoralAnalyzer:
                 # never pool with a hit-or-miss count, by construction).
                 method = METHOD_REGISTRY.get(config.method).store_method(config)
             context = StoreContext(profile, method)
-            self._cache = EstimateCache(self._store, context)
+            self._cache = EstimateCache(self._store, context, observability=self._obs)
         else:
             # The store persists exactly what PARTCACHE caches; without the
             # feature there is no canonical factor to key, so the store — if
             # one was passed — stays idle.
-            self._cache = EstimateCache()
+            self._cache = EstimateCache(observability=self._obs)
         self._closed = False
 
     @property
@@ -578,6 +593,11 @@ class QCoralAnalyzer:
     def cache(self) -> EstimateCache:
         """The (possibly two-tier) factor estimate cache."""
         return self._cache
+
+    @property
+    def observability(self) -> Observability:
+        """The observability hub (the shared disabled singleton when off)."""
+        return self._obs
 
     def reset(self, seed: Optional[int] = None) -> None:
         """Clear the factor cache and re-seed the random streams."""
@@ -639,6 +659,7 @@ class QCoralAnalyzer:
         without reading a final result): those flush on ``GeneratorExit``.
         """
         started = time.perf_counter()
+        kernel_before = kernel_cache_stats() if self._obs.enabled else None
         self._profile.check_covers(constraint_set.free_variables())
 
         path_conditions = [
@@ -656,11 +677,35 @@ class QCoralAnalyzer:
             # still flush caches/stores with what was drawn (best-effort —
             # whoever closed us cannot handle errors raised from here).
             try:
-                self._finalize(plan, states, (), started)
+                self._finalize(plan, states, (), started, kernel_before)
             except Exception:
                 pass
             raise
-        return self._finalize(plan, states, rounds, started)
+        return self._finalize(plan, states, rounds, started, kernel_before)
+
+    #: Kernel-cache counter fields mapped to the metric names they feed; the
+    #: delta between the snapshots taken at analysis start and end lands in
+    #: the run's metrics.  The counters are process-global, so on a process
+    #: executor they cover the driver only (workers compile independently).
+    _KERNEL_METRICS = (
+        ("lookups", "kernel_lookups_total"),
+        ("memory_hits", "kernel_memory_hits_total"),
+        ("disk_hits", "kernel_disk_hits_total"),
+        ("codegens", "kernel_codegens_total"),
+        ("numba_fallbacks", "kernel_numba_fallbacks_total"),
+        ("evictions", "kernel_evictions_total"),
+        ("disk_regens", "kernel_disk_regens_total"),
+        ("compile_seconds", "kernel_compile_seconds_total"),
+    )
+
+    def _record_kernel_delta(self, before: Optional[KernelCacheStats]) -> None:
+        if before is None or not self._obs.enabled:
+            return
+        after = kernel_cache_stats()
+        for field, metric in self._KERNEL_METRICS:
+            delta = getattr(after, field) - getattr(before, field)
+            if delta:
+                self._obs.count(metric, delta)
 
     def _finalize(
         self,
@@ -668,6 +713,7 @@ class QCoralAnalyzer:
         states: Sequence["_FactorState"],
         round_reports: Tuple[RoundReport, ...],
         started: float,
+        kernel_before: Optional[KernelCacheStats] = None,
     ) -> QCoralResult:
         """Assemble the result and flush caches/stores after the round loop."""
         reports = []
@@ -685,6 +731,7 @@ class QCoralAnalyzer:
 
         estimate = compose_disjoint_path_conditions(report.estimate for report in reports)
         elapsed = time.perf_counter() - started
+        self._record_kernel_delta(kernel_before)
         return QCoralResult(
             estimate=estimate,
             path_reports=tuple(reports),
@@ -695,6 +742,8 @@ class QCoralAnalyzer:
             round_reports=round_reports,
             executor=self._executor.describe() if self._executor is not None else None,
             store=self._store.describe() if self._store is not None else None,
+            metrics=self._obs.snapshot() if self._obs.enabled else None,
+            store_statistics=self._store.statistics if self._store is not None else None,
         )
 
     def analyze_path_condition(self, pc: ast.PathCondition) -> PathConditionReport:
@@ -781,6 +830,7 @@ class QCoralAnalyzer:
                     state.exact = Estimate.exact(entry.exact_mean)
                     state.cached = True
                     self._cache.put(factor, state.exact)
+                    self._obs.count("qcoral_store_outright_reuse_total")
                     return state
         parallel = self._executor is not None
         if parallel:
@@ -790,16 +840,24 @@ class QCoralAnalyzer:
             state.stream = self._seed_stream.spawn(1)[0]
         if self._config.stratified:
             # The registered method spec owns sampler construction, so new
-            # estimation methods plug in without edits here.
-            sampler: StratifiedSampler = METHOD_REGISTRY.get(self._config.method).make_sampler(
-                factor,
-                self._profile,
-                None if parallel else self._rng,
+            # estimation methods plug in without edits here.  The hub is only
+            # forwarded when enabled, so factories registered before the
+            # observability layer (no ``observability`` kwarg) keep working
+            # as long as no hub is attached.
+            factory_kwargs = dict(
                 variables=variables,
                 solver=self._solver,
                 seed_stream=state.stream,
                 chunk_size=self._config.chunk_size,
                 config=self._config,
+            )
+            if self._obs.enabled:
+                factory_kwargs["observability"] = self._obs
+            sampler: StratifiedSampler = METHOD_REGISTRY.get(self._config.method).make_sampler(
+                factor,
+                self._profile,
+                None if parallel else self._rng,
+                **factory_kwargs,
             )
             if sampler.is_exact:
                 state.exact = sampler.estimate()
@@ -825,6 +883,7 @@ class QCoralAnalyzer:
             state.exact = state.estimate()
             state.cached = True
             self._cache.put(factor, state.exact)
+            self._obs.count("qcoral_store_warm_freeze_total")
         return state
 
     # ------------------------------------------------------------------ #
@@ -983,6 +1042,7 @@ class QCoralAnalyzer:
         rounds: List[RoundReport] = []
         spent = 0
 
+        obs = self._obs
         for round_index in range(1, max_rounds + 1):
             remaining = total_budget - spent
             if remaining <= 0:
@@ -996,31 +1056,42 @@ class QCoralAnalyzer:
             else:
                 chunk = max(1, remaining // (max_rounds - round_index + 1))
 
-            if round_index == 1 or self._config.allocation == "even":
-                # Pilot rounds — and every round under the paper's "even"
-                # policy — split the chunk equally across the factors;
-                # variance-driven re-allocation is the "neyman" policy.  On a
-                # warm run the split follows each factor's residual need
-                # instead, so factors whose stored prior already covers the
-                # budget are not re-sampled (on a cold run all needs are
-                # equal and the two rules coincide).
-                if warm_run:
-                    priorities = [float(self._need(state)) for state in active]
+            round_started = time.perf_counter() if obs.enabled else 0.0
+            with obs.span("qcoral.round", round=round_index, chunk=chunk):
+                if round_index == 1 or self._config.allocation == "even":
+                    # Pilot rounds — and every round under the paper's "even"
+                    # policy — split the chunk equally across the factors;
+                    # variance-driven re-allocation is the "neyman" policy.  On a
+                    # warm run the split follows each factor's residual need
+                    # instead, so factors whose stored prior already covers the
+                    # budget are not re-sampled (on a cold run all needs are
+                    # equal and the two rules coincide).
+                    if warm_run:
+                        priorities = [float(self._need(state)) for state in active]
+                    else:
+                        priorities = [1.0] * len(active)
                 else:
-                    priorities = [1.0] * len(active)
-            else:
-                priorities = self._factor_priorities(plan, active)
-            shares = allocate_budget(priorities, chunk)
+                    priorities = self._factor_priorities(plan, active)
+                shares = allocate_budget(priorities, chunk)
 
-            if self._executor is not None:
-                used = self._run_parallel_round(active, shares)
-            else:
-                used = 0
-                for state, share in zip(active, shares):
-                    used += self._extend_factor(state, share)
-            spent += used
+                if self._executor is not None:
+                    used = self._run_parallel_round(active, shares)
+                else:
+                    used = 0
+                    for state, share in zip(active, shares):
+                        used += self._extend_factor(state, share)
+                spent += used
 
             combined = self._combined_estimate(plan)
+            if obs.enabled:
+                obs.count("qcoral_rounds_total")
+                obs.count("qcoral_samples_total", used)
+                obs.observe("qcoral_round_seconds", time.perf_counter() - round_started)
+                obs.gauge("qcoral_estimate_std", combined.std)
+                for factor_index, (state, share) in enumerate(zip(active, shares)):
+                    if share:
+                        obs.count("qcoral_factor_allocated_total", share, factor=factor_index)
+                    obs.gauge("qcoral_factor_sigma", state.estimate().std, factor=factor_index)
             report = RoundReport(round_index, used, spent, combined)
             rounds.append(report)
             stop = yield report
@@ -1053,7 +1124,7 @@ class QCoralAnalyzer:
             else:
                 planned.extend(self._plan_mc_factor(state, share))
 
-        outcomes = run_sampling_tasks(self._executor, [task for _, _, task in planned])
+        outcomes = run_sampling_tasks(self._executor, [task for _, _, task in planned], observability=self._obs)
         used = 0
         for (state, stratum_index, task), (hits, samples) in zip(planned, outcomes):
             if state.sampler is not None:
@@ -1061,6 +1132,9 @@ class QCoralAnalyzer:
             else:
                 addition = SamplingResult(Estimate.from_hits(hits, samples), hits, samples)
                 state.mc_result = (addition if state.mc_result is None else state.mc_result.merge(addition))
+                if self._obs.enabled:
+                    self._obs.count("sampler_draws_total", samples, method="montecarlo")
+                    self._obs.count("sampler_hits_total", hits, method="montecarlo")
             used += samples
         return used
 
@@ -1091,6 +1165,7 @@ class QCoralAnalyzer:
             return 0
         if state.sampler is not None:
             return state.sampler.extend(budget, allocation=self._config.allocation)
+        prior_hits = state.mc_result.hits if state.mc_result is not None else 0
         result = hit_or_miss(
             state.factor,
             self._profile,
@@ -1102,6 +1177,9 @@ class QCoralAnalyzer:
         )
         drawn = result.samples - (state.mc_result.samples if state.mc_result is not None else 0)
         state.mc_result = result
+        if drawn and self._obs.enabled:
+            self._obs.count("sampler_draws_total", drawn, method="montecarlo")
+            self._obs.count("sampler_hits_total", result.hits - prior_hits, method="montecarlo")
         return drawn
 
     def _factor_priorities(

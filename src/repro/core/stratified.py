@@ -31,6 +31,7 @@ variance ``Σ w_i² σ_i² / n_i`` for a fixed total budget.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
@@ -50,6 +51,7 @@ from repro.icp.solver import ICPSolver, PavedBox, Paving
 from repro.intervals.box import Box
 from repro.lang import ast
 from repro.lang.kernel import get_kernel
+from repro.obs import Observability, ensure_observability
 
 #: Allocation policy names accepted throughout the stack.  ``"even"`` is the
 #: paper's equal split, ``"neyman"`` the variance-minimising ``w·σ`` split,
@@ -257,6 +259,9 @@ class StratifiedSampler:
     backend and merge back deterministically (:meth:`absorb_chunk`).
     """
 
+    #: Label the sampler reports its draws/hits under (importance overrides).
+    method_label = "stratified"
+
     def __init__(
         self,
         pc: ast.PathCondition,
@@ -268,6 +273,7 @@ class StratifiedSampler:
         executor: Optional["Executor"] = None,
         seed_stream: Optional["SeedStream"] = None,
         chunk_size: Optional[int] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         if rng is None and seed_stream is None:
             raise ConfigurationError(
@@ -279,6 +285,7 @@ class StratifiedSampler:
         self._executor = executor
         self._seed_stream = seed_stream
         self._chunk_size = chunk_size
+        self._obs = ensure_observability(observability)
         self._names: Tuple[str, ...] = (
             tuple(variables) if variables is not None else tuple(sorted(pc.free_variables()))
         )
@@ -299,7 +306,15 @@ class StratifiedSampler:
         icp_solver = solver if solver is not None else ICPSolver(icp_config)
         self._icp_config = icp_solver.config
         self._integer_names = restricted.discrete_variables()
-        paving: Paving = icp_solver.pave(pc, domain, integer_variables=self._integer_names)
+        if self._obs.enabled:
+            with self._obs.span("icp.pave", variables=len(self._names)):
+                pave_started = time.perf_counter()
+                paving: Paving = icp_solver.pave(pc, domain, integer_variables=self._integer_names)
+                self._obs.observe("icp_pave_seconds", time.perf_counter() - pave_started)
+            self._obs.count("icp_boxes_explored_total", paving.boxes_explored)
+            self._obs.count("icp_contraction_passes_total", paving.contraction_passes)
+        else:
+            paving = icp_solver.pave(pc, domain, integer_variables=self._integer_names)
 
         if paving.is_unsatisfiable():
             self._exact = Estimate.zero()
@@ -369,6 +384,7 @@ class StratifiedSampler:
     def _extend_serial(self, budget: int, allocation: str) -> int:
         shares = allocate_budget(allocation_priorities(self._strata, allocation), budget)
         used = 0
+        hits = 0
         for stratum, share in zip(self._strata, shares):
             if share == 0:
                 continue
@@ -383,13 +399,17 @@ class StratifiedSampler:
             )
             stratum.absorb(result.hits, result.samples)
             used += result.samples
+            hits += result.hits
+        if used and self._obs.enabled:
+            self._obs.count("sampler_draws_total", used, method=self.method_label)
+            self._obs.count("sampler_hits_total", hits, method=self.method_label)
         return used
 
     def _extend_sharded(self, budget: int, allocation: str) -> int:
         from repro.exec.scheduler import run_sampling_tasks
 
         planned = self.plan_extension(budget, allocation)
-        outcomes = run_sampling_tasks(self._executor, [task for _, task in planned])
+        outcomes = run_sampling_tasks(self._executor, [task for _, task in planned], observability=self._obs)
         used = 0
         for (stratum_index, _), (hits, samples) in zip(planned, outcomes):
             self.absorb_chunk(stratum_index, hits, samples)
@@ -440,6 +460,9 @@ class StratifiedSampler:
     def absorb_chunk(self, stratum_index: int, hits: int, samples: int) -> None:
         """Fold one executed chunk's raw counts into its stratum."""
         self._strata[stratum_index].absorb(hits, samples)
+        if self._obs.enabled:
+            self._obs.count("sampler_draws_total", samples, method=self.method_label)
+            self._obs.count("sampler_hits_total", hits, method=self.method_label)
 
     def reseed(self, rng: np.random.Generator) -> None:
         """Replace the serial-path generator.

@@ -23,6 +23,10 @@ previous run) already emitted.
 
 from __future__ import annotations
 
+import functools
+import os
+import threading
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
@@ -33,9 +37,11 @@ from repro.exec.executor import Executor, SerialExecutor
 from repro.intervals.box import Box
 from repro.lang import ast
 from repro.lang.kernel import get_kernel
+from repro.obs.metrics import DeltaBuilder, MetricsDelta
 
 if TYPE_CHECKING:  # pragma: no cover - deferred to avoid a core<->exec cycle
     from repro.core.profiles import UsageProfile
+    from repro.obs import Observability
 
 #: Default samples per task: large enough that NumPy batch evaluation (and,
 #: for the process backend, pickling) is amortised, small enough that a
@@ -101,9 +107,57 @@ def execute_sampling_task(task: SamplingTask) -> Tuple[int, int]:
     return result.hits, result.samples
 
 
-def run_sampling_tasks(executor: Optional[Executor], tasks: Sequence[SamplingTask]) -> List[Tuple[int, int]]:
-    """Execute ``tasks`` on ``executor`` (serial when None), in task order."""
+def _worker_label() -> str:
+    """Stable-ish identity of the executing worker: ``pid:threadname``."""
+    return f"{os.getpid()}:{threading.current_thread().name}"
+
+
+def execute_sampling_task_observed(task: SamplingTask, dispatched: float) -> Tuple[int, int, MetricsDelta]:
+    """Observed variant of :func:`execute_sampling_task`.
+
+    Returns the same raw counts plus a :class:`MetricsDelta` of worker-side
+    counters and latencies — the delta rides back on the result exactly like
+    the sample counts, so the process backend needs no side channel and the
+    scheduler can merge deltas in deterministic task order.  ``dispatched`` is
+    the driver's ``time.monotonic()`` at submission; queue wait is clamped at
+    zero because process workers may have a different monotonic epoch.
+    """
+    started = time.monotonic()
+    hits, samples = execute_sampling_task(task)
+    elapsed = time.monotonic() - started
+    worker = _worker_label()
+    delta = DeltaBuilder()
+    delta.count("exec_chunks_total")
+    delta.count("exec_samples_total", samples)
+    delta.count("exec_hits_total", hits)
+    delta.count("exec_worker_chunks_total", worker=worker)
+    delta.count("exec_worker_busy_seconds_total", elapsed, worker=worker)
+    delta.observe("exec_chunk_seconds", elapsed)
+    delta.observe("exec_queue_wait_seconds", max(0.0, started - dispatched))
+    return hits, samples, delta.build()
+
+
+def run_sampling_tasks(
+    executor: Optional[Executor],
+    tasks: Sequence[SamplingTask],
+    observability: Optional["Observability"] = None,
+) -> List[Tuple[int, int]]:
+    """Execute ``tasks`` on ``executor`` (serial when None), in task order.
+
+    When an enabled ``observability`` hub is given, tasks run through the
+    observed wrapper; the worker-side metric deltas it returns are merged into
+    the hub here, in task order, and the plain ``(hits, samples)`` list is
+    returned either way — callers never see the deltas.
+    """
     if not tasks:
         return []
     backend = executor if executor is not None else SerialExecutor()
-    return backend.map(execute_sampling_task, tasks)
+    if observability is None or not observability.enabled:
+        return backend.map(execute_sampling_task, tasks)
+    observed = functools.partial(execute_sampling_task_observed, dispatched=time.monotonic())
+    results = backend.map(observed, tasks)
+    counts: List[Tuple[int, int]] = []
+    for hits, samples, delta in results:
+        observability.merge_delta(delta)
+        counts.append((hits, samples))
+    return counts

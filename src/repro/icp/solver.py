@@ -42,10 +42,16 @@ class PavedBox:
 
 @dataclass(frozen=True)
 class Paving:
-    """Result of a paving query: boxes covering all solutions within ``domain``."""
+    """Result of a paving query: boxes covering all solutions within ``domain``.
+
+    ``boxes_explored`` and ``contraction_passes`` are solver-effort counters
+    (heap pops and HC4 contraction calls); trivial pavings report zero.
+    """
 
     domain: Box
     boxes: Tuple[PavedBox, ...]
+    boxes_explored: int = 0
+    contraction_passes: int = 0
 
     def is_unsatisfiable(self) -> bool:
         """True when the paving proves the constraints have no solution."""
@@ -109,10 +115,12 @@ class ICPSolver:
 
         integers = frozenset(integer_variables)
         deadline = time.monotonic() + self._config.time_budget
+        contraction_passes = 1
+        boxes_explored = 0
 
         initial = contract(pc, domain, self._config)
         if initial is None:
-            return Paving(domain, ())
+            return Paving(domain, (), boxes_explored=0, contraction_passes=contraction_passes)
 
         # Best-first branch and prune: always refine the largest undecided box,
         # which yields the balanced pavings RealPaver reports and keeps stratum
@@ -132,6 +140,7 @@ class ICPSolver:
             out_of_time = time.monotonic() >= deadline
 
             _, _, box = heapq.heappop(pending)
+            boxes_explored += 1
             inner = self._is_inner(pc, box, strict)
             too_small = box.max_width() <= self._config.precision
 
@@ -144,11 +153,12 @@ class ICPSolver:
                 finished.append(PavedBox(box, inner=inner))
                 continue
             for half in halves:
+                contraction_passes += 1
                 contracted = contract(pc, half, self._config)
                 if contracted is not None:
                     heapq.heappush(pending, (-contracted.volume(), next(counter), contracted))
 
-        return Paving(domain, tuple(finished))
+        return Paving(domain, tuple(finished), boxes_explored=boxes_explored, contraction_passes=contraction_passes)
 
     def _split_box(self, box: Box, integers: frozenset) -> Optional[Tuple[Box, Box]]:
         """Bisect the widest splittable dimension (half-integer cuts on integer dims).

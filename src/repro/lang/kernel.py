@@ -62,10 +62,12 @@ codegen change invalidates every stale entry.  Two tiers of cache:
 from __future__ import annotations
 
 import hashlib
+import logging
 import math
 import os
 import tempfile
 import threading
+import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -112,6 +114,8 @@ DEFAULT_CACHE_SIZE = 4096
 
 #: Name of the generated function inside an emitted kernel source.
 _KERNEL_FUNC = "qcoral_kernel"
+
+_LOGGER = logging.getLogger("repro.lang.kernel")
 
 #: Anything :func:`get_kernel` accepts.
 Compilable = Union[ast.Constraint, ast.PathCondition, ast.ConstraintSet]
@@ -188,7 +192,12 @@ def _warn_numba_fallback(reason: str) -> None:
         if _NUMBA_WARNED:
             return
         _NUMBA_WARNED = True
-    warnings.warn(f"numba kernel tier unavailable ({reason}); falling back to fused", RuntimeWarning, stacklevel=3)
+    message = f"numba kernel tier unavailable ({reason}); falling back to fused"
+    # Both channels on purpose: the warning keeps the pre-logging behaviour
+    # visible in bare scripts, the logger feeds the ``repro`` hierarchy that
+    # ``--verbose`` and library embedders subscribe to.
+    _LOGGER.warning(message)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
 
 
 def _resolve_tier(tier: Optional[str]) -> str:
@@ -455,32 +464,41 @@ def _disk_path(digest: str) -> Optional[str]:
     return os.path.join(directory, f"{digest}.py")
 
 
-def _disk_read(digest: str) -> Optional[str]:
-    """Validated source from the disk cache, or None on miss/corruption."""
+def _disk_read(digest: str) -> Tuple[Optional[str], str]:
+    """Validated source from the disk cache plus a status tag.
+
+    Returns ``(source, "hit")`` on success and ``(None, status)`` otherwise,
+    where ``status`` distinguishes why the read produced nothing:
+    ``"disabled"`` (no disk tier), ``"miss"`` (no file), or ``"stale"``
+    (a file existed but failed version/digest/body validation and must be
+    regenerated).  The split feeds the ``disk_misses``/``disk_regens``
+    counters — a regeneration storm is a cache-invalidation signal that a
+    plain miss count would hide.
+    """
     path = _disk_path(digest)
     if path is None:
-        return None
+        return None, "disabled"
     try:
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
     except OSError:
-        return None
+        return None, "miss"
     # Trust nothing: a file is reused only when its embedded version and key
     # digest match what we would generate AND the body hashes to the value the
     # header recorded at write time — a tampered or truncated body falls
     # through to regeneration instead of being exec'd.
     if f"# version: {KERNEL_VERSION}" not in source or f"# key-sha256: {digest}" not in source:
-        return None
+        return None, "stale"
     marker = f"\n{_BODY_SHA_PREFIX}"
     _head, separator, remainder = source.partition(marker)
     if not separator:
-        return None
+        return None, "stale"
     recorded, newline, body = remainder.partition("\n")
     if not newline or not body.startswith(f"def {_KERNEL_FUNC}("):
-        return None
+        return None, "stale"
     if hashlib.sha256(body.encode("utf-8")).hexdigest() != recorded.strip():
-        return None
-    return source
+        return None, "stale"
+    return source, "hit"
 
 
 def _disk_write(digest: str, source: str) -> None:
@@ -515,6 +533,10 @@ class KernelCacheStats:
     disk_hits: int = 0
     codegens: int = 0
     numba_fallbacks: int = 0
+    evictions: int = 0
+    disk_misses: int = 0
+    disk_regens: int = 0
+    compile_seconds: float = 0.0
 
 
 _CACHE_LOCK = threading.Lock()
@@ -523,7 +545,17 @@ _KERNEL_CACHE: "OrderedDict[Tuple[str, str, str], Callable]" = OrderedDict()
 #: Lowering results: (kind, node) -> _Lowered (alpha-canonicalisation is the
 #: expensive part of the key, so it is memoised on the hashable AST itself).
 _LOWERED_CACHE: "OrderedDict[Tuple[str, Compilable], _Lowered]" = OrderedDict()
-_STATS = {"lookups": 0, "memory_hits": 0, "disk_hits": 0, "codegens": 0, "numba_fallbacks": 0}
+_STATS: Dict[str, float] = {
+    "lookups": 0,
+    "memory_hits": 0,
+    "disk_hits": 0,
+    "codegens": 0,
+    "numba_fallbacks": 0,
+    "evictions": 0,
+    "disk_misses": 0,
+    "disk_regens": 0,
+    "compile_seconds": 0.0,
+}
 
 
 def _cache_capacity() -> int:
@@ -544,18 +576,59 @@ def _lru_get(cache: OrderedDict, key):
     return value
 
 
-def _lru_put(cache: OrderedDict, key, value) -> None:
+def _lru_put(cache: OrderedDict, key, value, count_evictions: bool = False) -> None:
+    # Callers hold _CACHE_LOCK, so the eviction counter is updated in place
+    # rather than via _bump (which would deadlock on the non-reentrant lock).
     cache[key] = value
     cache.move_to_end(key)
     capacity = _cache_capacity()
     while len(cache) > capacity:
         cache.popitem(last=False)
+        if count_evictions:
+            _STATS["evictions"] += 1
 
 
 def kernel_cache_stats() -> KernelCacheStats:
     """Current cache counters (lookups, hits per tier, codegen runs)."""
     with _CACHE_LOCK:
-        return KernelCacheStats(**_STATS)
+        return KernelCacheStats(**_STATS)  # type: ignore[arg-type]
+
+
+def kernel_cache_info() -> Dict[str, object]:
+    """Structured view of both cache tiers, for observability surfaces.
+
+    Unlike :func:`kernel_cache_stats` (a flat counter snapshot), this nests
+    the counters by tier and adds live capacity/occupancy and the disk-tier
+    configuration, so a dashboard or ``--verbose`` dump can tell an LRU that
+    is thrashing (evictions climbing against a full ``size``) from a disk
+    tier that is invalidating (``regenerations`` climbing).
+    """
+    capacity = _cache_capacity()
+    directory = kernel_cache_dir()
+    with _CACHE_LOCK:
+        stats = dict(_STATS)
+        kernel_size = len(_KERNEL_CACHE)
+        lowered_size = len(_LOWERED_CACHE)
+    return {
+        "memory": {
+            "hits": int(stats["memory_hits"]),
+            "misses": int(stats["lookups"] - stats["memory_hits"]),
+            "evictions": int(stats["evictions"]),
+            "size": kernel_size,
+            "lowered_size": lowered_size,
+            "capacity": capacity,
+        },
+        "disk": {
+            "enabled": directory is not None,
+            "directory": directory,
+            "hits": int(stats["disk_hits"]),
+            "misses": int(stats["disk_misses"]),
+            "regenerations": int(stats["disk_regens"]),
+        },
+        "codegens": int(stats["codegens"]),
+        "numba_fallbacks": int(stats["numba_fallbacks"]),
+        "compile_seconds": float(stats["compile_seconds"]),
+    }
 
 
 def clear_kernel_cache(disk: bool = False) -> None:
@@ -580,7 +653,7 @@ def clear_kernel_cache(disk: bool = False) -> None:
                     pass
 
 
-def _bump(counter: str, amount: int = 1) -> None:
+def _bump(counter: str, amount: float = 1) -> None:
     with _CACHE_LOCK:
         _STATS[counter] += amount
 
@@ -664,10 +737,15 @@ def _raw_kernel(node: Compilable, lowered: _Lowered, tier: str) -> Callable:
     if cached is not None:
         _bump("memory_hits")
         return cached
-    source = _disk_read(lowered.digest)
+    started = time.perf_counter()
+    source, disk_status = _disk_read(lowered.digest)
     if source is not None:
         _bump("disk_hits")
     else:
+        if disk_status == "stale":
+            _bump("disk_regens")
+        elif disk_status == "miss":
+            _bump("disk_misses")
         _bump("codegens")
         generated, source = _generate_source(node)
         assert generated.digest == lowered.digest  # key and source must agree
@@ -675,8 +753,9 @@ def _raw_kernel(node: Compilable, lowered: _Lowered, tier: str) -> Callable:
     kernel = _compile_source(source, lowered.digest)
     if tier == "numba":
         kernel = _apply_numba(kernel, lowered)
+    _bump("compile_seconds", time.perf_counter() - started)
     with _CACHE_LOCK:
-        _lru_put(_KERNEL_CACHE, key, kernel)
+        _lru_put(_KERNEL_CACHE, key, kernel, count_evictions=True)
     return kernel
 
 
@@ -722,12 +801,14 @@ def _closure_kernel(node: Compilable) -> CompiledPredicate:
         _bump("memory_hits")
         return cached
     _bump("codegens")
+    started = time.perf_counter()
     if isinstance(node, ast.PathCondition):
         predicate = compile_path_condition(node)
     else:
         predicate = compile_constraint_set(node)
+    _bump("compile_seconds", time.perf_counter() - started)
     with _CACHE_LOCK:
-        _lru_put(_KERNEL_CACHE, key, predicate)
+        _lru_put(_KERNEL_CACHE, key, predicate, count_evictions=True)
     return predicate
 
 

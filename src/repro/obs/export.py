@@ -1,0 +1,156 @@
+"""Pluggable exporters: JSONL traces, Prometheus text format, console summary.
+
+Exporters are pure functions over drained span lists and
+:class:`~repro.obs.metrics.MetricsSnapshot` values — they hold no state and
+run strictly *after* analysis, so they cannot perturb results no matter what
+they do.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from repro.obs.metrics import HistogramSnapshot, LabelItems, MetricsSnapshot
+
+#: ``# HELP`` strings for the engine's well-known metrics (exporter-side so
+#: the hot path never carries help text around).
+METRIC_HELP: Mapping[str, str] = {
+    "qcoral_rounds_total": "Adaptive sampling rounds executed",
+    "qcoral_samples_total": "Samples spent by the adaptive round loop",
+    "qcoral_round_seconds": "Wall-clock duration of one adaptive round",
+    "qcoral_factor_allocated_total": "Samples allocated to one factor by the budget allocator",
+    "qcoral_factor_sigma": "Latest per-factor standard deviation estimate",
+    "qcoral_store_outright_reuse_total": "Factors answered exactly from the store without sampling",
+    "qcoral_store_warm_freeze_total": "Warm-started factors frozen without further sampling",
+    "sampler_draws_total": "Samples drawn, labelled by estimation method",
+    "sampler_hits_total": "Satisfying samples, labelled by estimation method",
+    "importance_refinement_splits_total": "Upfront mass-driven paving splits",
+    "importance_adaptive_splits_total": "Adaptive mid-run stratum refinements",
+    "importance_discarded_samples_total": "Samples discarded by adaptive refinement",
+    "icp_boxes_explored_total": "Boxes popped by the ICP paving solver",
+    "icp_contraction_passes_total": "Contraction passes run by the ICP solver",
+    "icp_pave_seconds": "Wall-clock duration of one ICP paving",
+    "exec_chunks_total": "Sampling chunks executed",
+    "exec_samples_total": "Samples drawn inside executor chunks",
+    "exec_hits_total": "Satisfying samples inside executor chunks",
+    "exec_chunk_seconds": "Wall-clock duration of one sampling chunk",
+    "exec_queue_wait_seconds": "Delay between chunk dispatch and execution start",
+    "exec_worker_busy_seconds_total": "Busy time accumulated per worker",
+    "exec_worker_chunks_total": "Chunks executed per worker",
+    "store_gets_total": "Persistent-store lookups",
+    "store_hits_total": "Persistent-store lookups that found an entry",
+    "store_publishes_total": "Delta publications into the persistent store",
+    "store_warm_starts_total": "Factors warm-started from a store entry",
+    "store_get_seconds": "Latency of one persistent-store get",
+    "store_merge_seconds": "Latency of one persistent-store merge",
+    "kernel_lookups_total": "Kernel cache lookups during the analysis",
+    "kernel_memory_hits_total": "Kernel lookups served from the in-process LRU",
+    "kernel_disk_hits_total": "Kernel lookups served from the disk source cache",
+    "kernel_codegens_total": "Kernel sources generated from scratch",
+    "kernel_evictions_total": "Kernels evicted from the in-process LRU",
+    "kernel_disk_regens_total": "Disk-cached kernel sources regenerated after validation failure",
+    "kernel_numba_fallbacks_total": "Numba-tier compilations that fell back to NumPy",
+    "kernel_compile_seconds_total": "Time spent generating and compiling kernels",
+}
+
+
+def write_trace_jsonl(spans: Iterable[Mapping[str, Any]], path: str, append: bool = True) -> int:
+    """Write span records as JSON Lines; returns the number written."""
+    mode = "a" if append else "w"
+    written = 0
+    with open(path, mode, encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span, sort_keys=True) + "\n")
+            written += 1
+    return written
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: LabelItems, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    items = labels + extra
+    if not items:
+        return ""
+    return "{" + ",".join(f'{key}="{value}"' for key, value in items) + "}"
+
+
+def _grouped(metrics: Mapping[Tuple[str, LabelItems], Any]) -> Dict[str, List[Tuple[LabelItems, Any]]]:
+    groups: Dict[str, List[Tuple[LabelItems, Any]]] = {}
+    for (name, labels), value in sorted(metrics.items()):
+        groups.setdefault(name, []).append((labels, value))
+    return groups
+
+
+def prometheus_text(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+
+    for name, rows in _grouped(snapshot.counters).items():
+        help_text = METRIC_HELP.get(name, f"Counter {name}")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        for labels, value in rows:
+            lines.append(f"{name}{_render_labels(labels)} {_format_value(value)}")
+
+    for name, rows in _grouped(snapshot.gauges).items():
+        help_text = METRIC_HELP.get(name, f"Gauge {name}")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in rows:
+            lines.append(f"{name}{_render_labels(labels)} {_format_value(value)}")
+
+    for name, rows in _grouped(snapshot.histograms).items():
+        help_text = METRIC_HELP.get(name, f"Histogram {name}")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} histogram")
+        for labels, hist in rows:
+            cumulative = 0
+            for bound, count in zip(hist.buckets, hist.counts):
+                cumulative += count
+                le = (("le", _format_value(bound)),)
+                lines.append(f"{name}_bucket{_render_labels(labels, le)} {cumulative}")
+            cumulative += hist.counts[-1]
+            lines.append(f'{name}_bucket{_render_labels(labels, (("le", "+Inf"),))} {cumulative}')
+            lines.append(f"{name}_sum{_render_labels(labels)} {repr(hist.total)}")
+            lines.append(f"{name}_count{_render_labels(labels)} {hist.count}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _histogram_line(name: str, hist: HistogramSnapshot) -> str:
+    return (
+        f"  {name}: n={hist.count} mean={hist.mean * 1000.0:.3f}ms "
+        f"min={hist.minimum * 1000.0:.3f}ms max={hist.maximum * 1000.0:.3f}ms"
+    )
+
+
+def console_summary(snapshot: MetricsSnapshot) -> str:
+    """Human-readable one-screen summary of a snapshot."""
+    lines: List[str] = []
+    counters = snapshot.to_dict()["counters"]
+    gauges = snapshot.to_dict()["gauges"]
+    if counters:
+        lines.append("counters:")
+        lines.extend(f"  {key}: {_format_value(value)}" for key, value in counters.items())
+    if gauges:
+        lines.append("gauges:")
+        lines.extend(f"  {key}: {value:.6g}" for key, value in gauges.items())
+    histograms = sorted(snapshot.histograms.items())
+    if histograms:
+        lines.append("latencies:")
+        from repro.obs.metrics import render_key
+
+        lines.extend(_histogram_line(render_key(name, labels), hist) for (name, labels), hist in histograms)
+    if not lines:
+        return "no metrics recorded\n"
+    return "\n".join(lines) + "\n"

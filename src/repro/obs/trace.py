@@ -1,0 +1,92 @@
+"""Span-based tracer: nested spans with monotonic timings and JSONL export.
+
+Spans nest through a thread-local stack, so concurrent driver threads each
+get a consistent parent chain without sharing state.  Timings come from
+``time.monotonic`` only — the tracer never reads an RNG or perturbs one, so
+fixed-seed analysis results are bit-identical with tracing on, off, or at any
+sampling rate.
+
+Sampling is deterministic, not random: ``sample_every=N`` keeps the 1st,
+(N+1)th, (2N+1)th, ... span *of each name* (a per-name modulo counter).  A
+random sampler would either consume the caller's RNG stream (perturbation) or
+need its own seed plumbing; the counter gives reproducible traces for free.
+
+Dropped spans still occupy their slot in the parent chain — a kept child of a
+dropped parent records the dropped parent's id, so trace consumers see a
+consistent (if partial) tree at any sampling rate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from contextlib import contextmanager
+
+
+class Tracer:
+    """Collects nested spans; thread-safe; buffers until :meth:`drain`."""
+
+    def __init__(self, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self._sample_every = sample_every
+        self._epoch = time.monotonic()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 1
+        self._name_counts: Dict[str, int] = {}
+        self._spans: List[Dict[str, Any]] = []
+
+    @property
+    def sample_every(self) -> int:
+        """Keep one in this many spans of each name (1 = keep everything)."""
+        return self._sample_every
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[None]:
+        """Time a nested span; record it when the per-name sampler keeps it."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            seen = self._name_counts.get(name, 0)
+            self._name_counts[name] = seen + 1
+        recorded = seen % self._sample_every == 0
+        stack = self._stack()
+        parent_id: Optional[int] = stack[-1] if stack else None
+        stack.append(span_id)
+        started = time.monotonic()
+        try:
+            yield
+        finally:
+            duration = time.monotonic() - started
+            stack.pop()
+            if recorded:
+                record: Dict[str, Any] = {
+                    "span_id": span_id,
+                    "parent_id": parent_id,
+                    "name": name,
+                    "start": started - self._epoch,
+                    "duration": duration,
+                }
+                if attributes:
+                    record["attributes"] = attributes
+                with self._lock:
+                    self._spans.append(record)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Return the buffered span records and clear the buffer."""
+        with self._lock:
+            spans, self._spans = self._spans, []
+        return spans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)

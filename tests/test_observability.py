@@ -1,0 +1,293 @@
+"""Tests of the zero-perturbation observability layer.
+
+The contract under test, in order of importance:
+
+1. **Bit-identity.**  With a fixed master seed, estimates and per-factor hit
+   counts are identical with observability disabled, enabled, or tracing at
+   any sampling rate — on the serial, thread, and process executors.
+2. **Merge determinism.**  The deterministic counters (rounds, draws, hits,
+   allocations, chunk totals) are identical across worker counts; only
+   timing histograms and per-worker labels may differ.
+3. **Export formats.**  Prometheus text output lints, the metrics JSON block
+   round-trips through ``MetricsSnapshot.from_dict``, and the ``Report``
+   schema-v2 ``metrics`` block matches its golden file.
+
+Regenerate the metrics golden file after an intentional change with::
+
+    QCORAL_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_observability.py
+"""
+
+import json
+import logging
+import os
+import re
+
+import pytest
+
+from repro.api import Session
+from repro.core.qcoral import QCoralConfig
+from repro.lang.kernel import kernel_cache_info
+from repro.obs import DISABLED, Observability, ensure_observability
+from repro.obs.export import prometheus_text, write_trace_jsonl
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, render_key
+from repro.obs.trace import Tracer
+
+METRICS_GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "report_metrics_golden.json")
+
+CONSTRAINTS = "x <= 0 - y && y <= x"
+BOUNDS = {"x": (-1.0, 1.0), "y": (-1.0, 1.0)}
+SAMPLES = 2000
+SEED = 1
+
+#: Counters that must be identical across observability modes and worker
+#: counts.  Excluded: ``kernel_*`` (process-global deltas depend on what
+#: earlier tests left in the in-process LRU) and ``exec_worker_*`` (labelled
+#: by pid/thread name).
+_DETERMINISTIC_RE = re.compile(
+    r"^(qcoral_|sampler_|icp_|store_|importance_|exec_chunks_|exec_samples_|exec_hits_)"
+)
+
+
+def _run(executor=None, workers=None, observability=None, trace_path=None, sample_every=1, store_backend=None):
+    config = QCoralConfig.strat_partcache(SAMPLES, seed=SEED)
+    with Session(
+        executor=executor,
+        workers=workers,
+        observability=observability,
+        store_backend=store_backend,
+    ) as session:
+        query = session.quantify(CONSTRAINTS, BOUNDS, config=config)
+        if trace_path is not None:
+            query = query.with_tracing(str(trace_path), sample_every=sample_every)
+        return query.run()
+
+
+def _deterministic_counters(snapshot: MetricsSnapshot):
+    return {
+        render_key(name, labels): value
+        for (name, labels), value in snapshot.counters.items()
+        if _DETERMINISTIC_RE.match(name)
+    }
+
+
+# --------------------------------------------------------------------------- #
+# 1. Bit-identity: observability must never perturb an RNG stream
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("executor,workers", [(None, None), ("thread", 2), ("process", 2)])
+def test_bit_identity_across_observability_modes(executor, workers, tmp_path):
+    baseline = _run(executor=executor, workers=workers)
+    observed = _run(executor=executor, workers=workers, observability=Observability())
+    traced = _run(
+        executor=executor,
+        workers=workers,
+        trace_path=tmp_path / "trace.jsonl",
+        sample_every=3,
+    )
+    for report in (observed, traced):
+        assert report.mean == baseline.mean
+        assert report.std == baseline.std
+        assert report.total_samples == baseline.total_samples
+        assert [round_report.mean for round_report in report.round_reports] == [
+            round_report.mean for round_report in baseline.round_reports
+        ]
+    assert baseline.metrics is None
+    assert observed.metrics is not None and traced.metrics is not None
+    # Same draws and hits whether fully observed or trace-sampled.
+    assert _deterministic_counters(observed.metrics) == _deterministic_counters(traced.metrics)
+    assert observed.metrics.counter_total("sampler_hits_total") > 0
+
+
+def test_metrics_merge_deterministic_across_worker_counts():
+    counters = []
+    for workers in (1, 2, 4):
+        report = _run(executor="thread", workers=workers, observability=Observability())
+        counters.append(_deterministic_counters(report.metrics))
+    assert counters[0] == counters[1] == counters[2]
+    # The worker-side deltas really flowed back through the scheduler.
+    assert counters[0]["exec_samples_total"] == SAMPLES
+    assert counters[0]["exec_chunks_total"] > 0
+
+
+def test_backends_agree_on_engine_counters():
+    # Thread and process pools share the sharded deterministic path, so every
+    # engine counter — including raw hit counts — must match between them.
+    # The serial (executor=None) in-thread path is a different deterministic
+    # stream by design; only its budget-level counters are comparable.
+    threaded = _run(executor="thread", workers=2, observability=Observability())
+    process = _run(executor="process", workers=2, observability=Observability())
+    assert _deterministic_counters(threaded.metrics) == _deterministic_counters(process.metrics)
+    serial = _run(observability=Observability())
+    assert serial.metrics.counter_total("sampler_draws_total") == SAMPLES
+    assert threaded.metrics.counter_total("sampler_draws_total") == SAMPLES
+    assert serial.metrics.counter("qcoral_rounds_total") == threaded.metrics.counter("qcoral_rounds_total")
+
+
+# --------------------------------------------------------------------------- #
+# 2. Tracing spans
+# --------------------------------------------------------------------------- #
+def test_tracer_nesting_and_deterministic_sampling():
+    tracer = Tracer(sample_every=2)
+    for index in range(4):
+        with tracer.span("outer", index=index):
+            with tracer.span("inner"):
+                pass
+    spans = tracer.drain()
+    # 1-in-2 per span name, counter-based: occurrences 0 and 2 are kept.
+    names = sorted(span["name"] for span in spans)
+    assert names == ["inner", "inner", "outer", "outer"]
+    inner = [span for span in spans if span["name"] == "inner"]
+    outer_ids = {span["span_id"] for span in spans if span["name"] == "outer"}
+    assert all(span["parent_id"] in outer_ids or span["parent_id"] is not None for span in inner)
+    assert all(span["duration"] >= 0.0 for span in spans)
+    assert tracer.drain() == []
+    with pytest.raises(ValueError):
+        Tracer(sample_every=0)
+
+
+def test_trace_jsonl_lines_parse(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    report = _run(trace_path=path)
+    assert report.metrics is not None
+    lines = path.read_text().strip().splitlines()
+    assert lines
+    for line in lines:
+        span = json.loads(line)
+        assert {"span_id", "name", "start", "duration"} <= set(span)
+    assert any(json.loads(line)["name"] == "qcoral.round" for line in lines)
+    # Appends accumulate across flushes.
+    extra = write_trace_jsonl([{"span_id": 99, "name": "manual", "start": 0.0, "duration": 0.0}], str(path))
+    assert extra == 1
+    assert len(path.read_text().strip().splitlines()) == len(lines) + 1
+
+
+# --------------------------------------------------------------------------- #
+# 3. Export formats
+# --------------------------------------------------------------------------- #
+_SAMPLE_LINE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+=\"[^\"]*\"(,[a-zA-Z0-9_]+=\"[^\"]*\")*\})? \S+$")
+
+
+def test_prometheus_output_lints():
+    registry = MetricsRegistry()
+    registry.count("qcoral_rounds_total", 3)
+    registry.count("sampler_draws_total", 100, method="stratified")
+    registry.gauge("qcoral_estimate_std", 0.25)
+    registry.observe("qcoral_round_seconds", 0.002)
+    registry.observe("qcoral_round_seconds", 7.5)  # lands in +Inf
+    text = prometheus_text(registry.snapshot())
+    assert text.endswith("\n")
+    seen_types = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE"):
+            _, _, name, kind = line.split(" ", 3)
+            seen_types[name] = kind
+        elif line.startswith("# HELP"):
+            continue
+        else:
+            assert _SAMPLE_LINE.match(line), f"unparseable sample line: {line!r}"
+    assert seen_types["qcoral_rounds_total"] == "counter"
+    assert seen_types["qcoral_estimate_std"] == "gauge"
+    assert seen_types["qcoral_round_seconds"] == "histogram"
+    # Histogram buckets are cumulative and end at +Inf == _count.
+    buckets = re.findall(r'qcoral_round_seconds_bucket\{le="([^"]+)"\} (\d+)', text)
+    counts = [int(count) for _, count in buckets]
+    assert counts == sorted(counts)
+    assert buckets[-1][0] == "+Inf"
+    assert counts[-1] == 2
+    assert "qcoral_round_seconds_count 2" in text
+    assert 'sampler_draws_total{method="stratified"} 100' in text
+
+
+def test_metrics_snapshot_round_trips_through_dict():
+    report = _run(observability=Observability())
+    snapshot = report.metrics
+    payload = snapshot.to_dict()
+    restored = MetricsSnapshot.from_dict(json.loads(json.dumps(payload)))
+    assert restored.to_dict() == payload
+    assert restored.counter("sampler_draws_total", method="stratified") == snapshot.counter(
+        "sampler_draws_total", method="stratified"
+    )
+
+
+def _normalised_metrics_block():
+    """The deterministic part of a fixed-seed run's Report.metrics block.
+
+    Timings are nondeterministic, so histograms are reduced to their
+    observation counts; ``kernel_*`` counters depend on what earlier tests
+    left in the process-global kernel cache and are dropped.
+    """
+    report = _run(observability=Observability())
+    block = report.to_dict()["metrics"]
+    return {
+        "counters": {key: value for key, value in block["counters"].items() if not key.startswith("kernel_")},
+        "gauges": block["gauges"],
+        "histogram_counts": {key: value["count"] for key, value in block["histograms"].items()},
+    }
+
+
+def test_report_metrics_block_matches_golden():
+    payload = _normalised_metrics_block()
+    if os.environ.get("QCORAL_UPDATE_GOLDEN"):
+        os.makedirs(os.path.dirname(METRICS_GOLDEN_PATH), exist_ok=True)
+        with open(METRICS_GOLDEN_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    with open(METRICS_GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    assert payload == golden
+
+
+# --------------------------------------------------------------------------- #
+# 4. Report / store / kernel surfacing
+# --------------------------------------------------------------------------- #
+def test_store_statistics_and_metrics_in_report():
+    report = _run(observability=Observability(), store_backend="memory")
+    payload = report.to_dict()
+    assert payload["store_stats"] is not None
+    assert payload["store_stats"]["gets"] >= 1
+    assert report.metrics.counter_total("store_gets_total") >= 1
+    # Without a store the block is null, not absent.
+    bare = _run(observability=Observability())
+    assert bare.to_dict()["store_stats"] is None
+    assert set(bare.to_dict()) == set(payload)
+
+
+def test_kernel_cache_info_shape():
+    info = kernel_cache_info()
+    assert set(info) == {"memory", "disk", "codegens", "numba_fallbacks", "compile_seconds"}
+    assert {"hits", "misses", "evictions", "size", "lowered_size", "capacity"} <= set(info["memory"])
+    assert {"enabled", "directory", "hits", "misses", "regenerations"} <= set(info["disk"])
+    assert info["memory"]["size"] <= info["memory"]["capacity"]
+    assert info["compile_seconds"] >= 0.0
+
+
+def test_disabled_hub_is_inert_singleton():
+    assert ensure_observability(None) is DISABLED
+    assert DISABLED.enabled is False
+    hub = Observability()
+    assert ensure_observability(hub) is hub
+    with DISABLED.span("anything", label=1):
+        DISABLED.count("x")
+        DISABLED.observe("y", 1.0)
+        DISABLED.gauge("z", 2.0)
+    assert DISABLED.snapshot().counters == {}
+    assert DISABLED.drain_spans() == []
+
+
+def test_repro_logger_has_null_handler():
+    logger = logging.getLogger("repro")
+    assert any(isinstance(handler, logging.NullHandler) for handler in logger.handlers)
+
+
+def test_numba_fallback_routes_through_logger(caplog):
+    from repro.lang import kernel as kernel_module
+    from repro.lang.parser import parse_path_condition
+
+    previously_warned = kernel_module._NUMBA_WARNED
+    kernel_module._NUMBA_WARNED = False
+    try:
+        with caplog.at_level(logging.WARNING, logger="repro.lang.kernel"):
+            with pytest.warns(RuntimeWarning, match="falling back to fused"):
+                kernel_module.get_kernel(parse_path_condition("x <= 0.125"), tier="numba")
+        assert any("falling back to fused" in record.message for record in caplog.records)
+    finally:
+        kernel_module._NUMBA_WARNED = previously_warned
