@@ -12,11 +12,14 @@ exercises the per-round, per-factor instrumentation hardest:
   counters, gauges, and histograms at every layer;
 * **traced** — the same hub with span tracing on, flushed to JSONL at the
   end of the run (the flush is part of the timed region: it is real cost a
-  tracing user pays).
+  tracing user pays);
+* **ledgered** — the same hub plus a JSONL run ledger the finished report is
+  appended to (the diagnostics pass and the ledger write are both inside the
+  timed region).
 
 ``overhead_ratio`` (enabled / disabled, min-of-repeats) is gated at
 :data:`~check_regression.OBSERVABILITY_OVERHEAD_CEILING` (1.05) by
-``benchmarks/check_regression.py``; bit-identity of the three estimates is a
+``benchmarks/check_regression.py``; bit-identity of the four estimates is a
 hard, tolerance-free gate.
 
 Writes ``benchmarks/BENCH_observability.json``.  Directly runnable::
@@ -68,13 +71,13 @@ def _config() -> QCoralConfig:
     )
 
 
-def run_once(mode: str, trace_path: Optional[str] = None) -> Dict:
-    """One timed run in ``mode`` (disabled/enabled/traced)."""
+def run_once(mode: str, trace_path: Optional[str] = None, ledger_path: Optional[str] = None) -> Dict:
+    """One timed run in ``mode`` (disabled/enabled/traced/ledgered)."""
     observability = None
-    if mode in ("enabled", "traced"):
+    if mode in ("enabled", "traced", "ledgered"):
         observability = Observability(trace_path=trace_path if mode == "traced" else None)
     started = time.perf_counter()
-    with Session(observability=observability) as session:
+    with Session(observability=observability, ledger=ledger_path if mode == "ledgered" else None) as session:
         query = session.quantify(CONSTRAINTS, BOUNDS, config=_config())
         report = query.run()
     if mode == "traced" and observability is not None:
@@ -91,18 +94,20 @@ def run_once(mode: str, trace_path: Optional[str] = None) -> Dict:
 
 
 def collect_results(repeats: Optional[int] = None) -> Dict:
-    """Sweep the three modes, best-of-``repeats``, and register the summary."""
+    """Sweep the four modes, best-of-``repeats``, and register the summary."""
     repeats = repeats if repeats is not None else repetitions(default=3, full=10)
     with tempfile.TemporaryDirectory() as tmp:
         trace_path = os.path.join(tmp, "bench_trace.jsonl")
-        runs: Dict[str, List[Dict]] = {"disabled": [], "enabled": [], "traced": []}
+        ledger_path = os.path.join(tmp, "bench_ledger.jsonl")
+        runs: Dict[str, List[Dict]] = {"disabled": [], "enabled": [], "traced": [], "ledgered": []}
         # Interleave the modes so drift (thermal, other tenants) hits each
         # mode equally instead of biasing whichever ran last.
         for _ in range(repeats):
             for mode in runs:
-                if os.path.exists(trace_path):
-                    os.unlink(trace_path)
-                runs[mode].append(run_once(mode, trace_path=trace_path))
+                for path in (trace_path, ledger_path):
+                    if os.path.exists(path):
+                        os.unlink(path)
+                runs[mode].append(run_once(mode, trace_path=trace_path, ledger_path=ledger_path))
     best = {mode: min(run["seconds"] for run in results) for mode, results in runs.items()}
     estimates = {(run["mean"], run["std"], run["samples"]) for results in runs.values() for run in results}
     payload = {
@@ -114,8 +119,10 @@ def collect_results(repeats: Optional[int] = None) -> Dict:
         "disabled_seconds": best["disabled"],
         "enabled_seconds": best["enabled"],
         "traced_seconds": best["traced"],
+        "ledgered_seconds": best["ledgered"],
         "overhead_ratio": best["enabled"] / best["disabled"] if best["disabled"] > 0 else 0.0,
         "traced_overhead_ratio": best["traced"] / best["disabled"] if best["disabled"] > 0 else 0.0,
+        "ledgered_overhead_ratio": best["ledgered"] / best["disabled"] if best["disabled"] > 0 else 0.0,
         "bit_identical": len(estimates) == 1,
         "mean": runs["disabled"][0]["mean"],
         "rounds": runs["disabled"][0]["rounds"],
@@ -147,7 +154,9 @@ def main(argv=None) -> int:
         f"enabled {payload['enabled_seconds']:.3f}s "
         f"(x{payload['overhead_ratio']:.4f}) | "
         f"traced {payload['traced_seconds']:.3f}s "
-        f"(x{payload['traced_overhead_ratio']:.4f})"
+        f"(x{payload['traced_overhead_ratio']:.4f}) | "
+        f"ledgered {payload['ledgered_seconds']:.3f}s "
+        f"(x{payload['ledgered_overhead_ratio']:.4f})"
     )
     print(f"bit identical across modes: {payload['bit_identical']}")
     print(f"summary written to {write_bench_summary(SUMMARY_FILE)}")

@@ -12,7 +12,10 @@ This walks through the public Session API, from lowest to highest level:
 5. fan the sampling out over the parallel executor backends and check that
    the estimate is bit-identical on every backend for one master seed;
 6. persist per-factor estimates in a store and re-run warm: the second run
-   reuses every stored factor and draws zero samples.
+   reuses every stored factor and draws zero samples;
+7. record runs in a ledger, read back the health diagnostics every run
+   finishes with, and measure the estimate drift between two runs in sigma
+   units (what ``qcoral obs diff`` automates).
 
 Run with:  python examples/quickstart.py
 """
@@ -172,6 +175,36 @@ def reuse_across_runs() -> None:
     print()
 
 
+def diagnostics_and_the_ledger() -> None:
+    """Run health + the run ledger: provenance and drift across runs."""
+    print("=" * 72)
+    print("7. Run-health diagnostics and the run ledger")
+    print("=" * 72)
+
+    from repro.obs.ledger import estimate_drift_sigmas, open_ledger
+
+    handle, ledger_path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(handle)
+    try:
+        # Two runs of the same constraint family, recorded in one ledger
+        # (a session-level ledger; .with_ledger(...) does it per query).
+        with Session(ledger=ledger_path) as session:
+            for seed in (21, 22):
+                report = session.quantify("x * x + y * y <= 1", BOUNDS).with_budget(20_000).seed(seed).run()
+        # Every report carries structured health diagnostics (schema v3).
+        for diagnostic in report.diagnostics:
+            print(f"[{diagnostic.severity}] {diagnostic.code}: {diagnostic.message}")
+        with open_ledger(ledger_path) as ledger:
+            first, second = ledger.entries()
+        print(f"ledger family {first.family}: seeds {first.seed} and {second.seed}")
+        drift = estimate_drift_sigmas(first, second)
+        print(f"estimate drift between the runs: {drift:.2f} sigma (3+ would flag `qcoral obs diff`)")
+    finally:
+        if os.path.exists(ledger_path):
+            os.remove(ledger_path)
+    print()
+
+
 def main() -> None:
     quantify_a_constraint_set()
     compare_feature_configurations()
@@ -179,6 +212,7 @@ def main() -> None:
     stream_an_adaptive_run()
     run_in_parallel()
     reuse_across_runs()
+    diagnostics_and_the_ledger()
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, RoundReport
 from repro.errors import AnalysisError, ConfigurationError
 from repro.lang.ast import ConstraintSet
 from repro.obs import Observability
+from repro.obs.ledger import LEDGER_BACKENDS, RunLedger, ledger_entry_for, open_ledger
 from repro.symexec.ast import Program
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session builds queries)
@@ -153,6 +154,8 @@ class Query:
     _tracing: bool = False
     _trace_path: Optional[str] = None
     _trace_sample_every: int = 1
+    _ledger_path: Optional[str] = None
+    _ledger_backend: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Fluent refinement (every method returns a NEW query)
@@ -248,6 +251,25 @@ class Query:
             raise ConfigurationError(f"sample_every must be >= 1, not {sample_every}")
         return replace(self, _tracing=True, _trace_path=path, _trace_sample_every=sample_every)
 
+    def with_ledger(self, path: Optional[str] = None, *, backend: Optional[str] = None) -> "Query":
+        """Append this query's run record to a run ledger when it finishes.
+
+        The ledger (see :mod:`repro.obs.ledger`) receives one provenance
+        entry per completed run — the full report payload (metrics snapshot
+        and diagnostics included) keyed by the constraint family's canonical
+        factor digests — which ``qcoral obs diff`` / ``history`` analyse
+        across runs.  The backend is inferred from the path like
+        :meth:`with_store` (``*.jsonl`` → JSONL, else SQLite) unless named
+        explicitly.  Overrides any session-level ledger for this query;
+        abandoned streams (``close()`` without reading a report) record
+        nothing.
+        """
+        if path is None and backend is None:
+            raise ConfigurationError("with_ledger() needs a path, a backend name, or both")
+        if backend is not None and backend not in LEDGER_BACKENDS:
+            raise ConfigurationError(f"unknown ledger backend {backend!r}; expected one of {LEDGER_BACKENDS}")
+        return replace(self, _ledger_path=path, _ledger_backend=backend)
+
     # ------------------------------------------------------------------ #
     # Compilation and execution
     # ------------------------------------------------------------------ #
@@ -328,7 +350,9 @@ class Query:
                 analyzer.close()
                 if owned_obs is not None:
                     owned_obs.flush_trace()
-            return Report.from_qcoral(result)
+            report = Report.from_qcoral(result)
+            self._record_run(report, self._profile)
+            return report
 
         # Program target: bounded symbolic execution, then quantification of
         # the event's constraint set — streamed — and of the bound-hitting
@@ -384,4 +408,21 @@ class Query:
             pipeline.close()
             if owned_obs is not None:
                 owned_obs.flush_trace()
-        return Report.from_qcoral(result, kind="program", event=target.event, bounded=bounded)
+        report = Report.from_qcoral(result, kind="program", event=target.event, bounded=bounded)
+        self._record_run(report, pipeline.profile)
+        return report
+
+    def _record_run(self, report: Report, profile: Optional[object]) -> None:
+        """Append one finished run's provenance record to the active ledger.
+
+        A query-level :meth:`with_ledger` target is opened for the append and
+        closed again (runs must not hold file handles between executions);
+        otherwise the session's borrowed ledger — if any — receives the entry.
+        """
+        if self._ledger_path is not None or self._ledger_backend is not None:
+            with open_ledger(self._ledger_path, self._ledger_backend) as ledger:
+                ledger.append(ledger_entry_for(report, profile))
+            return
+        session_ledger: Optional[RunLedger] = self._session.ledger
+        if session_ledger is not None:
+            session_ledger.append(ledger_entry_for(report, profile))

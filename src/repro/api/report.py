@@ -32,15 +32,18 @@ from typing import Any, Dict, Optional, Tuple
 from repro.core.cache import CacheStatistics
 from repro.core.estimate import Estimate
 from repro.core.qcoral import QCoralConfig, QCoralResult, RoundReport
+from repro.obs.diagnostics import Diagnostic
 from repro.obs.metrics import MetricsSnapshot
 from repro.store.backends import StoreStatistics
 
 #: Version stamp of the ``to_dict()``/``to_json()`` schema (bump rule above).
-#: Version 2 adds the observability surface: a ``metrics`` block (the
+#: Version 2 added the observability surface: a ``metrics`` block (the
 #: run's :class:`~repro.obs.metrics.MetricsSnapshot`, None when observability
 #: was disabled) and a ``store_stats`` block (persistent-store traffic
-#: counters, None without a store).
-SCHEMA_VERSION = 2
+#: counters, None without a store).  Version 3 adds the run-health surface:
+#: a ``diagnostics`` list of structured :class:`~repro.obs.diagnostics.Diagnostic`
+#: records (severity, code, message, evidence) emitted at finalize.
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -78,6 +81,10 @@ class Report:
     metrics: Optional[MetricsSnapshot] = None
     #: Persistent-store traffic counters (None when no store was attached).
     store_statistics: Optional[StoreStatistics] = None
+    #: Run-health diagnostics (:class:`~repro.obs.diagnostics.Diagnostic`)
+    #: emitted at finalize; ``timing=False`` records are deterministic for a
+    #: fixed seed, ``timing=True`` records exist only with observability on.
+    diagnostics: Tuple[Diagnostic, ...] = ()
 
     # ------------------------------------------------------------------ #
     # Derived accessors (one vocabulary across all run kinds)
@@ -154,6 +161,7 @@ class Report:
             config=result.config,
             metrics=result.metrics,
             store_statistics=result.store_statistics,
+            diagnostics=result.diagnostics,
         )
 
     @classmethod
@@ -260,6 +268,7 @@ class Report:
             "cache": cache,
             "store_stats": store_stats,
             "metrics": (None if self.metrics is None else self.metrics.to_dict()),
+            "diagnostics": [diagnostic.to_dict() for diagnostic in self.diagnostics],
             "event": self.event,
             "bounded": (None if self.bounded is None else {"mean": self.bounded.mean, "std": self.bounded.std}),
             "trials": trials,

@@ -38,6 +38,7 @@ from repro.errors import ConfigurationError
 from repro.exec.executor import EXECUTOR_KINDS, Executor, make_executor
 from repro.lang.ast import ConstraintSet
 from repro.obs import Observability
+from repro.obs.ledger import LEDGER_BACKENDS, RunLedger, open_ledger
 from repro.lang.parser import parse_constraint_set
 from repro.store.backends import STORE_BACKENDS, EstimateStore, open_store
 from repro.symexec.ast import Program
@@ -102,6 +103,16 @@ class Session:
             runs with observability disabled (the zero-overhead path); a
             query-level :meth:`~repro.api.query.Query.with_tracing` overrides
             this per query.
+        ledger: Run ledger every finished query appends its provenance
+            record to — a path (backend inferred, or named by
+            ``ledger_backend``) opened lazily and owned by the session, or a
+            :class:`~repro.obs.ledger.RunLedger` instance, which is borrowed.
+            None records nothing; a query-level
+            :meth:`~repro.api.query.Query.with_ledger` overrides this per
+            query.
+        ledger_backend: Ledger backend name (``memory``/``jsonl``/``sqlite``);
+            with a None ``ledger`` path this opens the backend without a path
+            (only meaningful for ``memory``).
     """
 
     def __init__(
@@ -114,6 +125,8 @@ class Session:
         store_readonly: bool = False,
         defaults: Optional[QCoralConfig] = None,
         observability: Optional[Observability] = None,
+        ledger: Union[None, str, RunLedger] = None,
+        ledger_backend: Optional[str] = None,
     ) -> None:
         if observability is not None and not isinstance(observability, Observability):
             raise ConfigurationError(
@@ -130,6 +143,10 @@ class Session:
             raise ConfigurationError(f"unknown store backend {store_backend!r}; expected one of {STORE_BACKENDS}")
         if store_readonly and store is None and store_backend is None:
             raise ConfigurationError("store_readonly requires a store path or backend")
+        if isinstance(ledger, RunLedger) and ledger_backend is not None:
+            raise ConfigurationError("ledger_backend only applies when the ledger is given as a path")
+        if ledger_backend is not None and ledger_backend not in LEDGER_BACKENDS:
+            raise ConfigurationError(f"unknown ledger backend {ledger_backend!r}; expected one of {LEDGER_BACKENDS}")
         self._defaults = defaults if defaults is not None else QCoralConfig()
         self._executor_spec = executor
         self._workers = workers
@@ -141,6 +158,10 @@ class Session:
         self._store: Optional[EstimateStore] = store if isinstance(store, EstimateStore) else None
         self._owns_store = False
         self._observability = observability
+        self._ledger_spec = ledger
+        self._ledger_backend = ledger_backend
+        self._ledger: Optional[RunLedger] = ledger if isinstance(ledger, RunLedger) else None
+        self._owns_ledger = False
         self._closed = False
         # Guards the lazy executor/store creation: concurrent queries (e.g.
         # trials dispatched on a thread executor) must share one instance,
@@ -178,6 +199,19 @@ class Session:
             return self._store
 
     @property
+    def ledger(self) -> Optional[RunLedger]:
+        """The session's run ledger (opened lazily from a path/backend)."""
+        with self._lock:
+            self._check_open()
+            if self._ledger is None and (isinstance(self._ledger_spec, str) or self._ledger_backend is not None):
+                self._ledger = open_ledger(
+                    self._ledger_spec if isinstance(self._ledger_spec, str) else None,
+                    self._ledger_backend,
+                )
+                self._owns_ledger = True
+            return self._ledger
+
+    @property
     def defaults(self) -> QCoralConfig:
         """The base configuration every query of this session starts from."""
         return self._defaults
@@ -207,10 +241,13 @@ class Session:
             self._closed = True
             executor = self._executor if self._owns_executor else None
             store = self._store if self._owns_store else None
+            ledger = self._ledger if self._owns_ledger else None
         if executor is not None:
             executor.close()
         if store is not None:
             store.close()
+        if ledger is not None:
+            ledger.close()
 
     def __enter__(self) -> "Session":
         self._check_open()

@@ -12,6 +12,14 @@ built on the :mod:`repro.api` Session facade:
     the constraint language, with per-variable domains supplied on the command
     line (the mode in which the paper's microbenchmarks are run).
 
+``qcoral obs``
+    Cross-run observability analysis over the artifacts the other commands
+    produce: ``summary`` (one run from a ledger, or a span aggregation of a
+    JSONL trace), ``diff`` (estimate drift in σ units plus per-phase timing
+    deltas between two ledger entries), ``history`` (a constraint family's
+    trajectory across the ledger), and ``lint-trace`` (validate a JSONL trace
+    file, header record included).
+
 The estimation/executor/store options shared by both commands live in one
 parent parser, so the two flag sets can never drift apart, and every
 ``choices`` list is read live from the backend registries — methods,
@@ -46,6 +54,14 @@ from repro.exec.executor import EXECUTOR_KINDS
 from repro.lang.kernel import KERNEL_TIERS, TIER_ENV, set_kernel_tier
 from repro.lang.parser import parse_constraint_set
 from repro.obs import Observability
+from repro.obs.export import lint_trace
+from repro.obs.ledger import (
+    LEDGER_BACKENDS,
+    LedgerEntry,
+    estimate_drift_sigmas,
+    open_ledger,
+    phase_timings,
+)
 from repro.store.backends import STORE_BACKENDS
 from repro.symexec.parser import parse_program
 
@@ -100,7 +116,7 @@ def _observability_from_args(args: argparse.Namespace) -> Optional[Observability
 
 
 def _session_from_args(args: argparse.Namespace, observability: Optional[Observability] = None) -> Session:
-    """A session owning the executor/store the command line names."""
+    """A session owning the executor/store/ledger the command line names."""
     return Session(
         executor=args.executor,
         workers=args.workers,
@@ -108,6 +124,8 @@ def _session_from_args(args: argparse.Namespace, observability: Optional[Observa
         store_backend=args.store_backend,
         store_readonly=args.store_readonly,
         observability=observability,
+        ledger=args.ledger,
+        ledger_backend=args.ledger_backend,
     )
 
 
@@ -261,6 +279,22 @@ def _common_parser() -> argparse.ArgumentParser:
         help="reuse stored estimates but write nothing back",
     )
     common.add_argument(
+        "--ledger",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append this run's provenance record (report summary, metrics, "
+            "diagnostics, constraint-family key) to a run ledger at PATH for "
+            "later `qcoral obs` analysis"
+        ),
+    )
+    common.add_argument(
+        "--ledger-backend",
+        choices=list(LEDGER_BACKENDS),
+        default=None,
+        help="ledger backend (default: inferred from the path; .jsonl => jsonl, else sqlite)",
+    )
+    common.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -401,6 +435,232 @@ def _command_quantify(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# `qcoral obs`: cross-run analysis over ledgers and traces
+# --------------------------------------------------------------------- #
+def _sniff_obs_file(path: str) -> tuple:
+    """Classify an observability artifact on disk.
+
+    Returns ``(kind, backend)`` where ``kind`` is ``"ledger"`` or
+    ``"trace"`` and ``backend`` names the ledger backend to open it with
+    (None for traces).  Detection is content-based — SQLite magic bytes,
+    else the first JSON line's shape — so renamed files still classify.
+    """
+    if not os.path.exists(path):
+        raise ReproError(f"{path}: no such file")
+    with open(path, "rb") as handle:
+        magic = handle.read(16)
+    if magic.startswith(b"SQLite format 3"):
+        return "ledger", "sqlite"
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                raise ReproError(f"{path}: not a ledger or trace file (first record is not JSON)") from None
+            if isinstance(payload, dict):
+                schema = payload.get("schema")
+                if isinstance(schema, str) and schema.startswith("qcoral-ledger"):
+                    return "ledger", "jsonl"
+                if payload.get("record") == "header" or "span_id" in payload:
+                    return "trace", None
+            raise ReproError(f"{path}: unrecognised observability record (not a ledger entry or trace span)")
+    raise ReproError(f"{path}: empty file")
+
+
+def _load_ledger_entries(path: str, backend: Optional[str]) -> list:
+    kind, sniffed = _sniff_obs_file(path)
+    if kind != "ledger":
+        raise ReproError(f"{path}: this is a trace file, not a run ledger")
+    with open_ledger(path, backend if backend is not None else sniffed) as ledger:
+        return ledger.entries()
+
+
+def _pick_family(entries: Sequence[LedgerEntry], family: Optional[str]) -> str:
+    """Resolve the family a command works on (default: the latest entry's)."""
+    if family is not None:
+        matches = [entry.family for entry in entries if entry.family.startswith(family)]
+        if not matches:
+            known = ", ".join(sorted({entry.family for entry in entries}))
+            raise ReproError(f"family {family!r} not found in ledger; known families: {known}")
+        resolved = sorted(set(matches))
+        if len(resolved) > 1:
+            raise ReproError(f"family prefix {family!r} is ambiguous: {', '.join(resolved)}")
+        return resolved[0]
+    return entries[-1].family
+
+
+def _format_created(created: float) -> str:
+    if created <= 0:
+        return "-"
+    import datetime
+
+    return datetime.datetime.fromtimestamp(created).strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _print_entry(entry: LedgerEntry, *, index: Optional[int] = None) -> None:
+    label = f"entry {index}" if index is not None else "entry"
+    print(f"{label}:        run {entry.run_id} (family {entry.family})")
+    print(f"created:        {_format_created(entry.created)}")
+    print(f"method:         {entry.method}")
+    print(f"features:       {entry.features}")
+    print(f"seed:           {entry.seed}")
+    print(f"mean:           {entry.mean:.6f}")
+    print(f"std:            {entry.std:.3e}")
+    print(f"samples:        {entry.samples}")
+    print(f"rounds:         {entry.rounds}")
+    print(f"time:           {entry.analysis_time:.2f}s")
+    print(f"versions:       repro {entry.repro_version}, estimator {entry.estimator_version}")
+    diagnostics = entry.diagnostics()
+    if diagnostics:
+        print("diagnostics:")
+        for diagnostic in diagnostics:
+            print(f"  [{diagnostic.severity}] {diagnostic.code}: {diagnostic.message}")
+    else:
+        print("diagnostics:    none recorded")
+
+
+def _command_obs_summary(args: argparse.Namespace) -> int:
+    kind, backend = _sniff_obs_file(args.path)
+    if kind == "trace":
+        problems = lint_trace(args.path)
+        header: Optional[dict] = None
+        spans: Dict[str, list] = {}
+        with open(args.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                if record.get("record") == "header":
+                    header = header or record
+                elif "span_id" in record:
+                    spans.setdefault(str(record.get("name", "?")), []).append(float(record.get("duration", 0.0)))
+        print(f"trace:          {args.path}")
+        if header is not None:
+            print(f"schema:         {header.get('schema')}")
+            print(f"repro version:  {header.get('repro_version')}")
+            print(f"seed:           {header.get('seed')}")
+            print(f"method:         {header.get('method')}")
+            print(f"config:         {header.get('config_fingerprint')}")
+        total = sum(len(durations) for durations in spans.values())
+        print(f"spans:          {total} across {len(spans)} names")
+        for name in sorted(spans):
+            durations = spans[name]
+            print(f"  {name:<28} count={len(durations):<6} total={sum(durations):.4f}s")
+        if problems:
+            print(f"lint:           {len(problems)} problem(s); run `qcoral obs lint-trace {args.path}`")
+        return 0
+    entries = _load_ledger_entries(args.path, backend)
+    if not entries:
+        print(f"ledger:         {args.path} (empty)")
+        return 0
+    families: Dict[str, int] = {}
+    for entry in entries:
+        families[entry.family] = families.get(entry.family, 0) + 1
+    print(f"ledger:         {args.path}")
+    print(f"entries:        {len(entries)} across {len(families)} families")
+    for family, count in families.items():
+        print(f"  {family}  runs={count}")
+    print()
+    _print_entry(entries[-1], index=len(entries) - 1)
+    return 0
+
+
+def _command_obs_history(args: argparse.Namespace) -> int:
+    entries = _load_ledger_entries(args.path, args.backend)
+    if not entries:
+        raise ReproError(f"{args.path}: the ledger is empty")
+    family = _pick_family(entries, args.family)
+    selected = [entry for entry in entries if entry.family == family]
+    if args.limit is not None and args.limit > 0:
+        selected = selected[-args.limit :]
+    print(f"family {family}: {len(selected)} run(s)")
+    header = (
+        f"{'#':>3}  {'created':<19}  {'seed':>6}  {'mean':>12}  {'std':>10}  "
+        f"{'samples':>9}  {'rounds':>6}  {'time':>8}  diags"
+    )
+    print(header)
+    print("-" * len(header))
+    for index, entry in enumerate(selected):
+        diagnostics = entry.diagnostics()
+        worst = "-"
+        if diagnostics:
+            severities = [diagnostic.severity for diagnostic in diagnostics]
+            worst = "error" if "error" in severities else ("warning" if "warning" in severities else "info")
+        seed = "-" if entry.seed is None else str(entry.seed)
+        print(
+            f"{index:>3}  {_format_created(entry.created):<19}  {seed:>6}  "
+            f"{entry.mean:>12.6f}  {entry.std:>10.3e}  {entry.samples:>9}  "
+            f"{entry.rounds:>6}  {entry.analysis_time:>7.2f}s  {worst}"
+        )
+    return 0
+
+
+def _command_obs_diff(args: argparse.Namespace) -> int:
+    entries = _load_ledger_entries(args.path, args.backend)
+    if not entries:
+        raise ReproError(f"{args.path}: the ledger is empty")
+    family = _pick_family(entries, args.family)
+    selected = [entry for entry in entries if entry.family == family]
+    if len(selected) < 2:
+        raise ReproError(
+            f"need at least two runs of family {family} to diff; the ledger has {len(selected)}"
+        )
+    a, b = selected[-2], selected[-1]
+    drift = estimate_drift_sigmas(a, b)
+    print(f"family:     {family}")
+    print(f"baseline:   run {a.run_id}  ({_format_created(a.created)}, repro {a.repro_version})")
+    print(f"candidate:  run {b.run_id}  ({_format_created(b.created)}, repro {b.repro_version})")
+    print(f"{'':12}{'baseline':>14}  {'candidate':>14}")
+    print(f"{'mean':<12}{a.mean:>14.6f}  {b.mean:>14.6f}")
+    print(f"{'std':<12}{a.std:>14.3e}  {b.std:>14.3e}")
+    print(f"{'samples':<12}{a.samples:>14}  {b.samples:>14}")
+    print(f"{'rounds':<12}{a.rounds:>14}  {b.rounds:>14}")
+    print(f"{'time':<12}{a.analysis_time:>13.2f}s  {b.analysis_time:>13.2f}s")
+    timings_a, timings_b = phase_timings(a), phase_timings(b)
+    shared = [phase for phase in timings_a if phase in timings_b and (timings_a[phase] or timings_b[phase])]
+    if shared:
+        print("phase timings (seconds):")
+        for phase in shared:
+            before, after = timings_a[phase], timings_b[phase]
+            if before > 0:
+                change = f"{(after - before) / before * 100.0:+6.1f}%"
+            else:
+                change = "   new" if after > 0 else "     -"
+            print(f"  {phase:<18}{before:>10.4f}  {after:>10.4f}  {change}")
+    print(f"drift:      {drift:.2f} sigma (threshold {args.threshold:g})")
+    if drift >= args.threshold:
+        print(f"DRIFT: estimates differ by {drift:.2f} sigma (>= {args.threshold:g})")
+        return 1
+    print("OK: estimates agree within the threshold")
+    return 0
+
+
+def _command_obs_lint_trace(args: argparse.Namespace) -> int:
+    kind, _ = _sniff_obs_file(args.path)
+    if kind != "trace":
+        raise ReproError(f"{args.path}: this is a run ledger, not a trace file")
+    problems = lint_trace(args.path)
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(f"FAIL: {len(problems)} problem(s) in {args.path}")
+        return 1
+    with open(args.path, "r", encoding="utf-8") as handle:
+        spans = sum(1 for line in handle if line.strip() and '"span_id"' in line)
+    print(f"OK: {args.path} is a well-formed trace ({spans} spans, header present)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (registry choices read live)."""
     parser = argparse.ArgumentParser(
@@ -443,6 +703,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     quantify.set_defaults(handler=_command_quantify)
 
+    obs = subparsers.add_parser("obs", help="analyse run ledgers and trace files across runs")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    summary = obs_sub.add_parser("summary", help="summarise a run ledger or a JSONL trace")
+    summary.add_argument("path", help="ledger or trace file (content-sniffed)")
+    summary.set_defaults(handler=_command_obs_summary)
+
+    diff = obs_sub.add_parser("diff", help="compare the last two runs of a family (drift in sigma)")
+    diff.add_argument("path", help="run ledger file")
+    diff.add_argument("--family", default=None, help="family digest or unique prefix (default: latest entry's)")
+    diff.add_argument("--backend", choices=list(LEDGER_BACKENDS), default=None, help="ledger backend override")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=3.0,
+        metavar="SIGMA",
+        help="exit non-zero when the estimate drift reaches this many sigma (default 3.0)",
+    )
+    diff.set_defaults(handler=_command_obs_diff)
+
+    history = obs_sub.add_parser("history", help="render a family's run trajectory from a ledger")
+    history.add_argument("path", help="run ledger file")
+    history.add_argument("--family", default=None, help="family digest or unique prefix (default: latest entry's)")
+    history.add_argument("--backend", choices=list(LEDGER_BACKENDS), default=None, help="ledger backend override")
+    history.add_argument("--limit", type=int, default=None, metavar="N", help="show only the last N runs")
+    history.set_defaults(handler=_command_obs_history)
+
+    lint = obs_sub.add_parser("lint-trace", help="validate a JSONL trace file (header record required)")
+    lint.add_argument("path", help="trace file")
+    lint.set_defaults(handler=_command_obs_lint_trace)
+
     return parser
 
 
@@ -450,9 +741,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    _configure_logging(args.verbose)
+    # `obs` subcommands do not take the estimation/observability flag set.
+    _configure_logging(getattr(args, "verbose", 0))
     try:
-        if args.kernel_tier is not None:
+        if getattr(args, "kernel_tier", None) is not None:
             # Set the environment too so process-pool workers spawned later
             # inherit the tier choice along with the in-process override.
             os.environ[TIER_ENV] = args.kernel_tier

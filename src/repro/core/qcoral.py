@@ -69,6 +69,8 @@ from repro.lang.analysis import group_constraints_by_block
 from repro.lang.kernel import KernelCacheStats, get_kernel, kernel_cache_stats
 from repro.lang.simplify import simplify_path_condition
 from repro.obs import Observability, ensure_observability
+from repro.obs.diagnostics import Diagnostic, FactorHealth, StratumHealth, diagnose_run
+from repro.obs.ledger import config_fingerprint
 from repro.obs.metrics import MetricsSnapshot
 from repro.store.backends import STORE_BACKENDS, EstimateStore, StoreStatistics, open_store
 from repro.store.entry import StoreEntry
@@ -389,6 +391,11 @@ class QCoralResult:
     #: Activity counters of the persistent store *handle* (shared across every
     #: run using that handle), None when the run had no store.
     store_statistics: Optional[StoreStatistics] = None
+    #: Run-health diagnostics emitted at finalize.  Records with
+    #: ``timing=False`` are bit-identical for a fixed seed across executors
+    #: and with observability on or off; wall-clock attribution records
+    #: (``timing=True``) appear only when an enabled hub was attached.
+    diagnostics: Tuple[Diagnostic, ...] = ()
 
     @property
     def mean(self) -> float:
@@ -446,6 +453,8 @@ class _FactorState:
         "prior_fingerprint",
         "warm",
         "rng",
+        "zero_share_streak",
+        "max_zero_share_streak",
     )
 
     def __init__(self, key: str, factor: ast.PathCondition, variables: Tuple[str, ...]) -> None:
@@ -472,6 +481,11 @@ class _FactorState:
         # Serial-path override generator for warm-started factors (None on
         # the sharded path and for cold factors, which use the shared rng).
         self.rng: Optional[np.random.Generator] = None
+        # Starvation counters for the run-health diagnostics: consecutive
+        # rounds the cross-factor allocator granted this factor zero samples,
+        # and the worst such streak over the run.
+        self.zero_share_streak = 0
+        self.max_zero_share_streak = 0
 
     @property
     def sampleable(self) -> bool:
@@ -660,6 +674,14 @@ class QCoralAnalyzer:
         """
         started = time.perf_counter()
         kernel_before = kernel_cache_stats() if self._obs.enabled else None
+        if self._obs.enabled:
+            # Stamp the run identity on the hub so flushed JSONL traces carry
+            # a self-describing header (no RNG, no clocks — zero perturbation).
+            self._obs.set_run_context(
+                seed=self._config.seed,
+                method=self._config.method,
+                config_fingerprint=config_fingerprint(self._config),
+            )
         self._profile.check_covers(constraint_set.free_variables())
 
         path_conditions = [
@@ -732,6 +754,7 @@ class QCoralAnalyzer:
         estimate = compose_disjoint_path_conditions(report.estimate for report in reports)
         elapsed = time.perf_counter() - started
         self._record_kernel_delta(kernel_before)
+        diagnostics = self._diagnose(states, round_reports)
         return QCoralResult(
             estimate=estimate,
             path_reports=tuple(reports),
@@ -744,6 +767,67 @@ class QCoralAnalyzer:
             store=self._store.describe() if self._store is not None else None,
             metrics=self._obs.snapshot() if self._obs.enabled else None,
             store_statistics=self._store.statistics if self._store is not None else None,
+            diagnostics=diagnostics,
+        )
+
+    def _diagnose(
+        self,
+        states: Sequence["_FactorState"],
+        round_reports: Tuple[RoundReport, ...],
+    ) -> Tuple[Diagnostic, ...]:
+        """The run-health diagnostics pass over the finished run.
+
+        Runs unconditionally — the non-timing checks are pure functions of
+        deterministic state (round reports, sample counts, streak counters)
+        and cost microseconds, so disabled-observability runs get the same
+        verdicts.  The metrics snapshot (and with it the wall-clock
+        attribution records) joins only when an enabled hub is attached.
+        """
+        healths: List[FactorHealth] = []
+        # Indices match the round loop's `active` list (state.exact is never
+        # set mid-loop), so `factor` evidence lines up with the run's
+        # qcoral_factor_* metric labels.
+        index = 0
+        for state in states:
+            if not state.sampleable:
+                continue
+            sampler = state.sampler
+            estimate = state.estimate()
+            strata: Tuple[StratumHealth, ...] = ()
+            ess: Optional[float] = None
+            method = "montecarlo"
+            if sampler is not None:
+                method = sampler.method_label
+                ess = sampler.effective_sample_size()
+                strata = tuple(
+                    StratumHealth(
+                        weight=stratum.weight,
+                        samples=stratum.draw_count,
+                        hits=stratum.hit_count,
+                        sampleable=stratum.sampleable,
+                        zero_allocation_streak=stratum.max_zero_allocation_streak,
+                    )
+                    for stratum in sampler.strata
+                )
+            healths.append(
+                FactorHealth(
+                    index=index,
+                    method=method,
+                    samples=state.samples,
+                    mean=estimate.mean,
+                    std=estimate.std,
+                    zero_share_streak=state.max_zero_share_streak,
+                    discarded_samples=getattr(sampler, "discarded_samples", 0),
+                    effective_sample_size=ess,
+                    strata=strata,
+                )
+            )
+            index += 1
+        return diagnose_run(
+            round_reports,
+            tuple(healths),
+            target_std=self._config.target_std,
+            metrics=self._obs.snapshot() if self._obs.enabled else None,
         )
 
     def analyze_path_condition(self, pc: ast.PathCondition) -> PathConditionReport:
@@ -1073,6 +1157,13 @@ class QCoralAnalyzer:
                 else:
                     priorities = self._factor_priorities(plan, active)
                 shares = allocate_budget(priorities, chunk)
+                for state, share in zip(active, shares):
+                    if share > 0:
+                        state.zero_share_streak = 0
+                    else:
+                        state.zero_share_streak += 1
+                        if state.zero_share_streak > state.max_zero_share_streak:
+                            state.max_zero_share_streak = state.zero_share_streak
 
                 if self._executor is not None:
                     used = self._run_parallel_round(active, shares)

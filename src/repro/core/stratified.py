@@ -112,7 +112,16 @@ class Stratum:
     runs without floating-point drift).
     """
 
-    __slots__ = ("box", "weight", "inner", "accumulator", "hit_count", "draw_count")
+    __slots__ = (
+        "box",
+        "weight",
+        "inner",
+        "accumulator",
+        "hit_count",
+        "draw_count",
+        "zero_allocation_streak",
+        "max_zero_allocation_streak",
+    )
 
     def __init__(self, box: Box, weight: float, inner: bool) -> None:
         self.box = box
@@ -121,6 +130,11 @@ class Stratum:
         self.accumulator = RunningEstimate()
         self.hit_count = 0
         self.draw_count = 0
+        # Starvation counters for the run-health diagnostics: consecutive
+        # allocation rounds in which this sampleable stratum received zero
+        # samples, and the worst such streak over the stratum's lifetime.
+        self.zero_allocation_streak = 0
+        self.max_zero_allocation_streak = 0
 
     @property
     def sampleable(self) -> bool:
@@ -359,6 +373,45 @@ class StratifiedSampler:
         """Samples consumed across all strata so far."""
         return sum(stratum.samples for stratum in self._strata)
 
+    def effective_sample_size(self) -> Optional[float]:
+        """Cross-strata effective sample size of the self-normalised form.
+
+        With per-stratum importance weights constant inside a stratum
+        (``w_i = m_i · N / n_i``), the standard ``(Σw)² / Σw²`` ESS reduces to
+        ``M² / Σ m_i²/n_i`` over the sampled sampleable strata of total mass
+        ``M``.  Equals ``N`` exactly when allocation is proportional to mass
+        and collapses as allocation diverges from the mass profile — the
+        degeneracy signal the run-health diagnostics act on.  ``None`` before
+        any sampleable stratum has been drawn from.
+        """
+        mass = 0.0
+        denominator = 0.0
+        for stratum in self._strata:
+            if not stratum.sampleable or stratum.draw_count == 0:
+                continue
+            mass += stratum.weight
+            denominator += stratum.weight * stratum.weight / stratum.draw_count
+        if denominator <= 0.0:
+            return None
+        return mass * mass / denominator
+
+    def _record_allocation(self, shares: Sequence[int]) -> None:
+        """Update per-stratum zero-allocation streaks after one budget split.
+
+        Called exactly once per allocation round on both the serial and the
+        sharded paths, so the streak counters — inputs to the deterministic
+        run-health diagnostics — are identical across executors.
+        """
+        for stratum, share in zip(self._strata, shares):
+            if not stratum.sampleable:
+                continue
+            if share > 0:
+                stratum.zero_allocation_streak = 0
+            else:
+                stratum.zero_allocation_streak += 1
+                if stratum.zero_allocation_streak > stratum.max_zero_allocation_streak:
+                    stratum.max_zero_allocation_streak = stratum.zero_allocation_streak
+
     # ------------------------------------------------------------------ #
     # Sampling
     # ------------------------------------------------------------------ #
@@ -383,6 +436,7 @@ class StratifiedSampler:
 
     def _extend_serial(self, budget: int, allocation: str) -> int:
         shares = allocate_budget(allocation_priorities(self._strata, allocation), budget)
+        self._record_allocation(shares)
         used = 0
         hits = 0
         for stratum, share in zip(self._strata, shares):
@@ -439,6 +493,7 @@ class StratifiedSampler:
             return []
         chunk_size = self._chunk_size if self._chunk_size is not None else DEFAULT_CHUNK_SIZE
         shares = allocate_budget(allocation_priorities(self._strata, allocation), budget)
+        self._record_allocation(shares)
         planned: List[Tuple[int, SamplingTask]] = []
         for index, (stratum, share) in enumerate(zip(self._strata, shares)):
             for chunk in shard_budget(share, chunk_size):

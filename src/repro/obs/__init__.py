@@ -29,7 +29,22 @@ from __future__ import annotations
 from contextlib import nullcontext
 from typing import Any, ContextManager, Dict, List, Optional
 
-from repro.obs.export import console_summary, prometheus_text, write_trace_jsonl
+from repro.obs.diagnostics import (
+    Diagnostic,
+    FactorHealth,
+    StratumHealth,
+    deterministic_diagnostics,
+    diagnose_run,
+)
+from repro.obs.export import TRACE_SCHEMA, console_summary, lint_trace, prometheus_text, write_trace_jsonl
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    LedgerEntry,
+    RunLedger,
+    config_fingerprint,
+    ledger_entry_for,
+    open_ledger,
+)
 from repro.obs.metrics import (
     DeltaBuilder,
     HistogramSnapshot,
@@ -52,6 +67,19 @@ __all__ = [
     "prometheus_text",
     "console_summary",
     "write_trace_jsonl",
+    "lint_trace",
+    "TRACE_SCHEMA",
+    "Diagnostic",
+    "FactorHealth",
+    "StratumHealth",
+    "diagnose_run",
+    "deterministic_diagnostics",
+    "LedgerEntry",
+    "RunLedger",
+    "open_ledger",
+    "ledger_entry_for",
+    "config_fingerprint",
+    "LEDGER_SCHEMA",
 ]
 
 
@@ -71,6 +99,7 @@ class Observability:
         self.trace_path = trace_path
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(sample_every=trace_sample_every)
+        self._run_context: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -96,6 +125,28 @@ class Observability:
         if delta is not None:
             self.metrics.merge_delta(delta)
 
+    def set_run_context(self, **context: Any) -> None:
+        """Record run identity fields (seed, method, config fingerprint).
+
+        The engine calls this at run start; the fields end up in the trace
+        header so JSONL traces are self-describing.  Last write wins — a hub
+        reused across runs stamps the most recent run's identity.
+        """
+        self._run_context.update(context)
+
+    def trace_header(self) -> Dict[str, Any]:
+        """The self-describing header record for JSONL traces."""
+        from repro import __version__
+
+        return {
+            "record": "header",
+            "schema": TRACE_SCHEMA,
+            "repro_version": __version__,
+            "seed": self._run_context.get("seed"),
+            "method": self._run_context.get("method"),
+            "config_fingerprint": self._run_context.get("config_fingerprint"),
+        }
+
     # ------------------------------------------------------------------ #
     # Export
     # ------------------------------------------------------------------ #
@@ -114,7 +165,7 @@ class Observability:
         spans = self.drain_spans()
         if target is None or not spans:
             return 0
-        return write_trace_jsonl(spans, target, append=True)
+        return write_trace_jsonl(spans, target, append=True, header=self.trace_header())
 
     def prometheus(self) -> str:
         """Current metrics in the Prometheus text exposition format."""
@@ -151,6 +202,9 @@ class _DisabledObservability(Observability):
         pass
 
     def merge_delta(self, delta: Optional[MetricsDelta]) -> None:
+        pass
+
+    def set_run_context(self, **context: Any) -> None:
         pass
 
 

@@ -10,9 +10,20 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, Iterable, List, Mapping, Tuple
+import os
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.obs.metrics import HistogramSnapshot, LabelItems, MetricsSnapshot
+
+#: Schema tag stamped on the header record of every JSONL trace.
+TRACE_SCHEMA = "qcoral-trace-1"
+
+#: Keys a trace header record must carry (``qcoral obs lint-trace`` enforces
+#: this; the values may be null when the producer did not know them).
+TRACE_HEADER_KEYS = ("schema", "repro_version", "seed", "method", "config_fingerprint")
+
+#: Keys every span record must carry.
+TRACE_SPAN_KEYS = ("span_id", "name", "start", "duration")
 
 #: ``# HELP`` strings for the engine's well-known metrics (exporter-side so
 #: the hot path never carries help text around).
@@ -56,15 +67,98 @@ METRIC_HELP: Mapping[str, str] = {
 }
 
 
-def write_trace_jsonl(spans: Iterable[Mapping[str, Any]], path: str, append: bool = True) -> int:
-    """Write span records as JSON Lines; returns the number written."""
+def write_trace_jsonl(
+    spans: Iterable[Mapping[str, Any]],
+    path: str,
+    append: bool = True,
+    header: Optional[Mapping[str, Any]] = None,
+) -> int:
+    """Write span records as JSON Lines; returns the number of *spans* written.
+
+    When ``header`` is given and the target file is new (or ``append`` is
+    False), a self-describing header record is written first — schema tag,
+    repro version, seed, method, config fingerprint — so a trace file can be
+    interpreted without the producing process (``qcoral obs lint-trace``
+    requires it).  Appending to an existing non-empty file never repeats the
+    header.
+    """
     mode = "a" if append else "w"
+    fresh = mode == "w" or not os.path.exists(path) or os.path.getsize(path) == 0
     written = 0
     with open(path, mode, encoding="utf-8") as handle:
+        if header is not None and fresh:
+            handle.write(json.dumps(dict(header), sort_keys=True) + "\n")
         for span in spans:
             handle.write(json.dumps(span, sort_keys=True) + "\n")
             written += 1
     return written
+
+
+def lint_trace(path: str) -> List[str]:
+    """Validate a JSONL trace file; returns a list of problems (empty = ok).
+
+    Checks: the file parses line-by-line as JSON objects, line 1 is a header
+    record carrying every :data:`TRACE_HEADER_KEYS` with a recognised schema
+    tag, every later line is a span record with the :data:`TRACE_SPAN_KEYS`,
+    non-negative start/duration, and unique span ids.  Span ids are assigned
+    sequentially per producing run and restart when a later run appends to
+    the same file, so uniqueness is scoped to each monotone run segment — a
+    strictly decreasing id starts a new segment rather than flagging a
+    duplicate.
+    """
+    problems: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        return [f"{path}: cannot read: {error}"]
+    if not lines:
+        return [f"{path}: empty trace (missing header record)"]
+    seen_ids: set = set()
+    previous_id: Optional[float] = None
+    for line_number, line in enumerate(lines, start=1):
+        if not line.strip():
+            problems.append(f"{path}:{line_number}: blank line")
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            problems.append(f"{path}:{line_number}: not valid JSON: {error}")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"{path}:{line_number}: expected a JSON object")
+            continue
+        if line_number == 1:
+            if record.get("record") != "header":
+                problems.append(f"{path}:1: first record must be the trace header (record='header')")
+                continue
+            for key in TRACE_HEADER_KEYS:
+                if key not in record:
+                    problems.append(f"{path}:1: header missing {key!r}")
+            schema = record.get("schema")
+            if isinstance(schema, str) and not schema.startswith("qcoral-trace"):
+                problems.append(f"{path}:1: unrecognised trace schema {schema!r}")
+            continue
+        if record.get("record") == "header":
+            problems.append(f"{path}:{line_number}: duplicate header record")
+            continue
+        missing = [key for key in TRACE_SPAN_KEYS if key not in record]
+        if missing:
+            problems.append(f"{path}:{line_number}: span missing {', '.join(repr(key) for key in missing)}")
+            continue
+        for key in ("start", "duration"):
+            value = record[key]
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{path}:{line_number}: {key!r} must be a non-negative number")
+        span_id = record["span_id"]
+        if isinstance(span_id, (int, float)) and previous_id is not None and span_id < previous_id:
+            seen_ids.clear()
+        if span_id in seen_ids:
+            problems.append(f"{path}:{line_number}: duplicate span_id {span_id!r}")
+        seen_ids.add(span_id)
+        if isinstance(span_id, (int, float)):
+            previous_id = span_id
+    return problems
 
 
 def _format_value(value: float) -> str:

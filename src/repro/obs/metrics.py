@@ -226,22 +226,72 @@ class MetricsSnapshot:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "MetricsSnapshot":
-        """Inverse of :meth:`to_dict` (labels are parsed back out of the keys)."""
-        counters = {_parse_key(key): float(value) for key, value in payload.get("counters", {}).items()}
-        gauges = {_parse_key(key): float(value) for key, value in payload.get("gauges", {}).items()}
+        """Inverse of :meth:`to_dict` (labels are parsed back out of the keys).
+
+        Validates the payload shape — snapshots persisted by ledgers travel
+        across versions, so malformed input raises a ``ValueError`` naming the
+        offending key instead of a bare ``KeyError``/``TypeError``.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"malformed metrics snapshot: expected a mapping, got {type(payload).__name__}")
+        counters = _validated_scalar_section(payload, "counters")
+        gauges = _validated_scalar_section(payload, "gauges")
+        raw_histograms = payload.get("histograms", {})
+        if not isinstance(raw_histograms, Mapping):
+            raise ValueError("malformed metrics snapshot: 'histograms' must be a mapping")
         histograms = {}
-        for key, hist in payload.get("histograms", {}).items():
-            buckets = tuple(sorted(float(bound) for bound in hist["buckets"] if bound != "+Inf"))
-            counts = tuple(int(hist["buckets"][str(bound)]) for bound in buckets) + (int(hist["buckets"]["+Inf"]),)
-            histograms[_parse_key(key)] = HistogramSnapshot(
-                buckets=buckets,
-                counts=counts,
-                total=float(hist["sum"]),
-                count=int(hist["count"]),
-                minimum=float(hist["min"]),
-                maximum=float(hist["max"]),
-            )
+        for key, hist in raw_histograms.items():
+            histograms[_parse_key(key)] = _histogram_from_dict(key, hist)
         return cls(counters=counters, gauges=gauges, histograms=histograms)
+
+
+def _validated_scalar_section(payload: Mapping[str, Any], section: str) -> Dict[MetricKey, float]:
+    """Parse one ``counters``/``gauges`` block, rejecting non-numeric values."""
+    raw = payload.get(section, {})
+    if not isinstance(raw, Mapping):
+        raise ValueError(f"malformed metrics snapshot: {section!r} must be a mapping")
+    values: Dict[MetricKey, float] = {}
+    for key, value in raw.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"malformed metrics snapshot: {section}[{key!r}] is not a number")
+        values[_parse_key(key)] = float(value)
+    return values
+
+
+def _histogram_from_dict(key: str, hist: Any) -> HistogramSnapshot:
+    """Parse one serialised histogram, naming the offending key on failure."""
+    where = f"histograms[{key!r}]"
+    if not isinstance(hist, Mapping):
+        raise ValueError(f"malformed metrics snapshot: {where} must be a mapping")
+    raw_buckets = hist.get("buckets")
+    if not isinstance(raw_buckets, Mapping):
+        raise ValueError(f"malformed metrics snapshot: {where}.buckets must be a mapping")
+    if "+Inf" not in raw_buckets:
+        raise ValueError(f"malformed metrics snapshot: {where}.buckets missing '+Inf'")
+    try:
+        buckets = tuple(sorted(float(bound) for bound in raw_buckets if bound != "+Inf"))
+    except (TypeError, ValueError):
+        raise ValueError(f"malformed metrics snapshot: {where}.buckets has a non-numeric bound") from None
+    counts = []
+    for bound in tuple(str(bound) for bound in buckets) + ("+Inf",):
+        value = raw_buckets[bound]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"malformed metrics snapshot: {where}.buckets[{bound!r}] is not an integer count")
+        counts.append(value)
+    fields = {}
+    for name, caster in (("sum", float), ("count", int), ("min", float), ("max", float)):
+        value = hist.get(name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"malformed metrics snapshot: {where}.{name} is not a number")
+        fields[name] = caster(value)
+    return HistogramSnapshot(
+        buckets=buckets,
+        counts=tuple(counts),
+        total=fields["sum"],
+        count=fields["count"],
+        minimum=fields["min"],
+        maximum=fields["max"],
+    )
 
 
 def _parse_key(rendered: str) -> MetricKey:

@@ -28,7 +28,9 @@ from repro.api import Session
 from repro.core.qcoral import QCoralConfig
 from repro.lang.kernel import kernel_cache_info
 from repro.obs import DISABLED, Observability, ensure_observability
-from repro.obs.export import prometheus_text, write_trace_jsonl
+from repro.obs.diagnostics import Diagnostic, deterministic_diagnostics
+from repro.obs.export import TRACE_SCHEMA, lint_trace, prometheus_text, write_trace_jsonl
+from repro.obs.ledger import estimate_drift_sigmas, ledger_entry_for, open_ledger, phase_timings
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, render_key
 from repro.obs.trace import Tracer
 
@@ -150,14 +152,70 @@ def test_trace_jsonl_lines_parse(tmp_path):
     assert report.metrics is not None
     lines = path.read_text().strip().splitlines()
     assert lines
-    for line in lines:
+    # Line 1 is the self-describing header; the rest are spans.
+    header = json.loads(lines[0])
+    assert header["record"] == "header"
+    assert header["schema"] == TRACE_SCHEMA
+    assert header["seed"] == SEED
+    assert header["method"] == "hit-or-miss"
+    assert header["config_fingerprint"]
+    for line in lines[1:]:
         span = json.loads(line)
         assert {"span_id", "name", "start", "duration"} <= set(span)
-    assert any(json.loads(line)["name"] == "qcoral.round" for line in lines)
-    # Appends accumulate across flushes.
-    extra = write_trace_jsonl([{"span_id": 99, "name": "manual", "start": 0.0, "duration": 0.0}], str(path))
+    assert any(json.loads(line)["name"] == "qcoral.round" for line in lines[1:])
+    # Appends accumulate across flushes and never repeat the header.
+    extra = write_trace_jsonl([{"span_id": 9999, "name": "manual", "start": 0.0, "duration": 0.0}], str(path))
     assert extra == 1
     assert len(path.read_text().strip().splitlines()) == len(lines) + 1
+    assert sum(1 for line in path.read_text().splitlines() if '"record"' in line) == 1
+    assert lint_trace(str(path)) == []
+
+
+def test_lint_trace_flags_problems(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("")
+    assert lint_trace(str(path)) == [f"{path}: empty trace (missing header record)"]
+    # First record must be the header.
+    path.write_text(json.dumps({"span_id": 1, "name": "s", "start": 0.0, "duration": 0.1}) + "\n")
+    assert any("first record must be the trace header" in problem for problem in lint_trace(str(path)))
+    header = {
+        "record": "header",
+        "schema": TRACE_SCHEMA,
+        "repro_version": "0",
+        "seed": 1,
+        "method": "hit-or-miss",
+        "config_fingerprint": "abc",
+    }
+    bad_lines = [
+        json.dumps(header),
+        "not json",
+        json.dumps({"span_id": 1, "name": "s", "start": -1.0, "duration": 0.1}),
+        json.dumps({"name": "missing-id", "start": 0.0, "duration": 0.0}),
+        json.dumps({"span_id": 1, "name": "dup-in-segment", "start": 0.0, "duration": 0.0}),
+        json.dumps(header),
+    ]
+    path.write_text("\n".join(bad_lines) + "\n")
+    problems = lint_trace(str(path))
+    assert any("not valid JSON" in problem for problem in problems)
+    assert any("'start' must be a non-negative number" in problem for problem in problems)
+    assert any("span missing 'span_id'" in problem for problem in problems)
+    assert any("duplicate span_id 1" in problem for problem in problems)
+    assert any("duplicate header record" in problem for problem in problems)
+    # Span ids restart when a later run appends: non-increasing id = new
+    # segment, never a duplicate; an in-segment repeat is still flagged.
+    path.write_text(
+        "\n".join(
+            [
+                json.dumps(header),
+                json.dumps({"span_id": 1, "name": "a", "start": 0.0, "duration": 0.0}),
+                json.dumps({"span_id": 2, "name": "b", "start": 0.0, "duration": 0.0}),
+                json.dumps({"span_id": 1, "name": "a", "start": 1.0, "duration": 0.0}),
+                json.dumps({"span_id": 2, "name": "b", "start": 1.0, "duration": 0.0}),
+            ]
+        )
+        + "\n"
+    )
+    assert lint_trace(str(path)) == []
 
 
 # --------------------------------------------------------------------------- #
@@ -291,3 +349,129 @@ def test_numba_fallback_routes_through_logger(caplog):
         assert any("falling back to fused" in record.message for record in caplog.records)
     finally:
         kernel_module._NUMBA_WARNED = previously_warned
+
+
+# --------------------------------------------------------------------------- #
+# 5. Run-health diagnostics: deterministic for a fixed seed
+# --------------------------------------------------------------------------- #
+def _diagnostics_bytes(report):
+    """Canonical serialisation of the deterministic diagnostic records."""
+    records = deterministic_diagnostics(report.diagnostics)
+    return json.dumps([record.to_dict() for record in records], sort_keys=True).encode("utf-8")
+
+
+@pytest.mark.parametrize("executor,workers", [(None, None), ("thread", 2), ("process", 2)])
+def test_diagnostics_bit_identical_across_observability_modes(executor, workers, tmp_path):
+    baseline = _run(executor=executor, workers=workers)
+    observed = _run(executor=executor, workers=workers, observability=Observability())
+    traced = _run(executor=executor, workers=workers, trace_path=tmp_path / "trace.jsonl", sample_every=2)
+    expected = _diagnostics_bytes(baseline)
+    assert expected != b"[]"
+    assert _diagnostics_bytes(observed) == expected
+    assert _diagnostics_bytes(traced) == expected
+    # Timing diagnostics only exist with observability enabled, and are the
+    # only records the enabled runs may add.
+    assert not any(record.timing for record in baseline.diagnostics)
+
+
+def test_diagnostics_bit_identical_between_thread_and_process():
+    threaded = _run(executor="thread", workers=2)
+    process = _run(executor="process", workers=2)
+    assert _diagnostics_bytes(threaded) == _diagnostics_bytes(process)
+
+
+def test_diagnostics_shape_and_round_trip():
+    report = _run(observability=Observability())
+    assert report.diagnostics
+    for record in report.diagnostics:
+        assert record.severity in ("info", "warning", "error")
+        assert record.code
+        assert Diagnostic.from_dict(json.loads(json.dumps(record.to_dict()))) == record
+    codes = {record.code for record in report.diagnostics}
+    assert codes & {"CONVERGENCE_OK", "CONVERGENCE_DEGRADED"}
+    # The report JSON schema carries the same records.
+    payload = report.to_dict()["diagnostics"]
+    assert payload == [record.to_dict() for record in report.diagnostics]
+    with pytest.raises(ValueError):
+        Diagnostic.from_dict({"severity": "fatal", "code": "X", "message": "bad severity"})
+
+
+def test_metrics_from_dict_rejects_malformed_payloads():
+    good = _run(observability=Observability()).metrics.to_dict()
+    assert MetricsSnapshot.from_dict(good) is not None
+    with pytest.raises(ValueError, match="expected a mapping"):
+        MetricsSnapshot.from_dict([])  # type: ignore[arg-type]
+    with pytest.raises(ValueError, match="'counters' must be a mapping"):
+        MetricsSnapshot.from_dict({**good, "counters": 3})
+    bad_counter = {**good, "counters": {**good["counters"], "x_total": "fast"}}
+    with pytest.raises(ValueError, match=r"counters\['x_total'\] is not a number"):
+        MetricsSnapshot.from_dict(bad_counter)
+    histogram_key = next(iter(good["histograms"]))
+    broken = json.loads(json.dumps(good))
+    del broken["histograms"][histogram_key]["buckets"]["+Inf"]
+    with pytest.raises(ValueError, match=r"buckets missing '\+Inf'"):
+        MetricsSnapshot.from_dict(broken)
+    broken = json.loads(json.dumps(good))
+    bound = next(iter(broken["histograms"][histogram_key]["buckets"]))
+    broken["histograms"][histogram_key]["buckets"][bound] = 1.5
+    with pytest.raises(ValueError, match="is not an integer count"):
+        MetricsSnapshot.from_dict(broken)
+
+
+# --------------------------------------------------------------------------- #
+# 6. Run ledger: append-only provenance, families, drift
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("suffix,backend", [("ledger.jsonl", "jsonl"), ("ledger.db", "sqlite")])
+def test_ledger_round_trips_runs(tmp_path, suffix, backend):
+    path = str(tmp_path / suffix)
+    for _ in range(2):
+        report = _run()
+        with open_ledger(path) as ledger:
+            ledger.append(ledger_entry_for(report))
+    with open_ledger(path) as ledger:
+        assert ledger.backend == backend
+        entries = ledger.entries()
+        assert len(entries) == 2
+        first, second = entries
+        assert first.family == second.family
+        assert ledger.families() == [first.family]
+        assert ledger.entries(family=first.family) == entries
+    assert first.seed == SEED
+    assert first.mean == second.mean
+    assert first.run_id == second.run_id or first.analysis_time != second.analysis_time
+    assert estimate_drift_sigmas(first, second) == 0.0
+    parsed = second.diagnostics()
+    assert parsed and all(isinstance(record, Diagnostic) for record in parsed)
+    # No metrics snapshot stored (observability off) => no phase timings.
+    assert phase_timings(second) == {}
+
+
+def test_session_and_query_level_ledgers(tmp_path):
+    path = str(tmp_path / "runs.jsonl")
+    config = QCoralConfig.strat_partcache(SAMPLES, seed=SEED)
+    with Session(ledger=path) as session:
+        session.quantify(CONSTRAINTS, BOUNDS, config=config).run()
+    override = str(tmp_path / "override.jsonl")
+    with Session(ledger=path) as session:
+        session.quantify(CONSTRAINTS, BOUNDS, config=config).with_ledger(override).run()
+    with open_ledger(path) as ledger:
+        assert len(ledger.entries()) == 1
+    with open_ledger(override) as ledger:
+        entries = ledger.entries()
+        assert len(entries) == 1
+    # Different constraints land in a different family.
+    with Session(ledger=path) as session:
+        session.quantify("x <= 0.5", {"x": (-1.0, 1.0)}, config=config).run()
+    with open_ledger(path) as ledger:
+        assert len(ledger.families()) == 2
+
+
+def test_ledger_drift_in_sigma_units():
+    report = _run()
+    base = ledger_entry_for(report, created=1.0)
+    shifted_payload = dict(base.report)
+    shifted_payload["mean"] = base.mean + 5.0 * base.std
+    shifted = base.__class__.from_dict({**base.to_dict(), "report": shifted_payload})
+    drift = estimate_drift_sigmas(base, shifted)
+    assert drift == pytest.approx(5.0 / (2.0**0.5), rel=1e-9)
+    assert estimate_drift_sigmas(base, base) == 0.0
