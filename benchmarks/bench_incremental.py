@@ -1,0 +1,188 @@
+"""Incremental re-quantification vs cold re-runs across edit sizes.
+
+The scenario ``qcoral ci`` is built for: a program evolves one factor at a
+time, and re-quantifying the whole constraint set from scratch wastes the
+budget on everything the edit left untouched.  This benchmark sweeps the
+edit size over the two-version evolution fixture — 0 factors changed (a
+no-op commit), 1 (the canonical v1→v2 edit), 2, and all 5 — and for each
+size runs the candidate twice at the same seed and per-factor budget:
+
+* **cold** — no store: every factor pays its full sampling cost;
+* **incremental** — against a store warmed by one baseline (v1) run, with
+  the baseline diff attached: unchanged factors reuse stored evidence
+  outright, the residual budget concentrates on the edit.
+
+Each row records samples drawn, wall-clock, and the reuse fraction; the
+all-changed row doubles as the bit-identity contract check (a diff that
+finds everything changed must reproduce the cold run *exactly* — equal
+mean, std, and sample count, not statistical agreement).  The summary lands
+in ``benchmarks/BENCH_incremental.json`` and is gated by
+``benchmarks/check_regression.py``.
+
+Run directly (``python benchmarks/bench_incremental.py``) for the table, or
+via pytest for the assertion-checked version.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+try:
+    from benchmarks.conftest import FULL_SCALE, record_bench, write_bench_summary
+except ImportError:  # executed directly: benchmarks/ is sys.path[0]
+    from conftest import FULL_SCALE, record_bench, write_bench_summary
+from repro.analysis.results import Table
+from repro.api import Session
+from repro.core.qcoral import QCoralConfig
+from repro.lang.parser import parse_constraint_set
+from repro.subjects import evolution
+
+#: Summary file of this benchmark family.
+SUMMARY = "BENCH_incremental.json"
+
+#: Per-factor budget (paper scale when QCORAL_BENCH_FULL=1).
+BUDGET = 50_000 if FULL_SCALE else 5_000
+
+#: Factors changed by each swept edit (5 = everything, the bit-identity row).
+EDIT_SIZES = (0, 1, 2, 5)
+
+SEED = 23
+
+PROFILE = evolution.evolution_profile()
+
+
+def _config() -> QCoralConfig:
+    return QCoralConfig(samples_per_query=BUDGET, seed=SEED)
+
+
+def _run(candidate: str, store_path, baseline: str | None) -> dict:
+    """One quantification of ``candidate``; incremental when given a baseline."""
+    started = time.perf_counter()
+    with Session(store=store_path) as session:
+        query = session.quantify(parse_constraint_set(candidate), PROFILE, config=_config())
+        if baseline is not None:
+            query = query.against_baseline(parse_constraint_set(baseline))
+        report = query.run()
+    elapsed = time.perf_counter() - started
+    row = {
+        "mean": report.mean,
+        "std": report.std,
+        "samples": report.total_samples,
+        "time": elapsed,
+    }
+    for diagnostic in report.diagnostics:
+        if diagnostic.code == "REUSE_SUMMARY":
+            evidence = dict(diagnostic.evidence)
+            row["factors"] = evidence["factors_total"]
+            row["reused"] = evidence["factors_reused"]
+            row["reuse_fraction"] = (
+                evidence["factors_reused"] / evidence["factors_total"]
+                if evidence["factors_total"]
+                else 0.0
+            )
+            row["samples_saved"] = evidence["samples_saved"]
+    return row
+
+
+def collect_results() -> dict:
+    """The edit-size sweep, registered for the JSON dump."""
+    workdir = tempfile.mkdtemp(prefix="bench_incremental_")
+    baseline_store = os.path.join(workdir, "baseline.jsonl")
+    try:
+        # Warm the store with one cold baseline (v1) run.
+        baseline = _run(evolution.EVOLUTION_V1, baseline_store, None)
+        edits = []
+        for size in EDIT_SIZES:
+            candidate = evolution.edited_version(size)
+            # Each edit size gets its own copy of the v1-warmed store, so one
+            # sweep row's published estimates never warm the next row.
+            edit_store = os.path.join(workdir, f"edit{size}.jsonl")
+            shutil.copy(baseline_store, edit_store)
+            cold = _run(candidate, None, None)
+            incremental = _run(candidate, edit_store, evolution.EVOLUTION_V1)
+            edits.append(
+                {
+                    "edits": size,
+                    "cold": cold,
+                    "incremental": incremental,
+                    "sample_ratio": (
+                        incremental["samples"] / cold["samples"] if cold["samples"] else 0.0
+                    ),
+                    "wall_clock_saved": cold["time"] - incremental["time"],
+                }
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    all_changed = next(row for row in edits if row["edits"] == max(EDIT_SIZES))
+    one_edit = next(row for row in edits if row["edits"] == 1)
+    payload = {
+        "budget": BUDGET,
+        "seed": SEED,
+        "baseline": baseline,
+        "edits": edits,
+        "one_edit_sample_ratio": one_edit["sample_ratio"],
+        "bit_identical_all_changed": (
+            all_changed["incremental"]["mean"] == all_changed["cold"]["mean"]
+            and all_changed["incremental"]["std"] == all_changed["cold"]["std"]
+            and all_changed["incremental"]["samples"] == all_changed["cold"]["samples"]
+        ),
+    }
+    record_bench("incremental", payload, summary=SUMMARY)
+    return payload
+
+
+def generate_table() -> Table:
+    payload = collect_results()
+    table = Table(
+        f"Incremental re-quantification at {BUDGET} samples/factor (evolution fixture)",
+        ("edits", "cold samples", "incr samples", "ratio", "reused", "cold time", "incr time"),
+    )
+    for row in payload["edits"]:
+        cold, incremental = row["cold"], row["incremental"]
+        table.add_row(
+            f"edit{row['edits']}",
+            row["edits"],
+            cold["samples"],
+            incremental["samples"],
+            f"{row['sample_ratio']:.2f}",
+            f"{incremental.get('reused', 0)}/{incremental.get('factors', 0)}",
+            f"{cold['time']:.3f}s",
+            f"{incremental['time']:.3f}s",
+        )
+    return table
+
+
+def test_incremental_vs_cold():
+    payload = collect_results()
+    rows = {row["edits"]: row for row in payload["edits"]}
+
+    # A no-op commit draws nothing: every factor is served from the store.
+    assert rows[0]["incremental"]["samples"] == 0
+    assert rows[0]["incremental"]["reuse_fraction"] == 1.0
+
+    # Acceptance criterion: a one-factor edit draws at most a quarter of the
+    # cold run's samples at the same per-factor budget.
+    assert payload["one_edit_sample_ratio"] <= 0.25
+    assert rows[1]["incremental"]["reused"] == 4
+
+    # Savings shrink monotonically as the edit grows.
+    assert rows[1]["incremental"]["samples"] <= rows[2]["incremental"]["samples"]
+    assert rows[2]["incremental"]["samples"] <= rows[5]["incremental"]["samples"]
+
+    # The all-changed diff reuses nothing and reproduces the cold run
+    # bit-for-bit at the shared seed.
+    assert rows[5]["incremental"]["reused"] == 0
+    assert payload["bit_identical_all_changed"] is True
+
+
+def main() -> None:
+    print(generate_table().render())
+    path = write_bench_summary(SUMMARY)
+    print(f"\nbenchmark summary written to {path}")
+
+
+if __name__ == "__main__":
+    main()

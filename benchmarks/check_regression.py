@@ -10,6 +10,11 @@ a tracked quality metric regressed by more than the tolerance:
   resolves exactly) from turning float noise into a gate failure.
 * **warm reuse fractions** (``BENCH_store.json``) — higher is better; a fresh
   fraction below ``baseline × 0.8`` fails.
+* **incremental reuse** (``BENCH_incremental.json``) — per edit size the
+  reuse fraction gates like the store family and the incremental/cold sample
+  ratio must not grow past ``baseline × 1.2 + 0.02``; two hard checks ride
+  along — the all-changed run must stay bit-identical to its cold twin, and
+  the one-factor edit must draw at most 25% of the cold run's samples.
 * **fused-kernel summaries** (``BENCH_kernels.json``) — per-subject hit counts
   must be bit-identical across every kernel tier and executor backend
   (unconditional, no tolerance); fused-vs-closure speedups gate against the
@@ -42,6 +47,17 @@ SIGMA_RATIO_SLACK = 0.05
 
 #: Relative regression tolerance on reuse fractions (higher is better).
 REUSE_FRACTION_TOLERANCE = 0.20
+
+#: Relative tolerance on incremental/cold sample ratios (lower is better),
+#: plus a small absolute slack so a 0.0 baseline (the no-op edit) cannot turn
+#: float noise into a failure.
+SAMPLE_RATIO_TOLERANCE = 0.20
+SAMPLE_RATIO_SLACK = 0.02
+
+#: Hard ceiling on the one-factor-edit sample ratio — the acceptance
+#: criterion of the incremental engine, gated absolutely like the
+#: observability overhead, independent of the committed trajectory.
+ONE_EDIT_SAMPLE_RATIO_CEILING = 0.25
 
 #: Relative regression tolerance on fused-kernel speedups (higher is better).
 #: Deliberately loose: shared-runner timing noise is large, and the hard
@@ -142,6 +158,50 @@ def compare_reuse_fractions(family: str, baseline: dict, fresh: dict) -> List[Fi
     return findings
 
 
+def compare_incremental(family: str, baseline: dict, fresh: dict) -> List[Finding]:
+    """Incremental summary: reuse/ratio gate softly, two contracts gate hard.
+
+    ``bit_identical_all_changed`` and the one-edit sample-ratio ceiling are
+    properties of the fresh run alone (no tolerance, no baseline needed);
+    per-edit reuse fractions and sample ratios gate against the committed
+    trajectory with the usual slack.
+    """
+    findings: List[Finding] = []
+    payload = fresh.get("incremental", {})
+    if not payload:
+        return findings
+    bit_identical = bool(payload.get("bit_identical_all_changed"))
+    findings.append(Finding(family, "bit_identical_all_changed", 1.0, float(bit_identical), not bit_identical))
+    one_edit_ratio = float(payload.get("one_edit_sample_ratio", 1.0))
+    findings.append(
+        Finding(
+            family,
+            "one_edit sample_ratio",
+            ONE_EDIT_SAMPLE_RATIO_CEILING,
+            one_edit_ratio,
+            one_edit_ratio > ONE_EDIT_SAMPLE_RATIO_CEILING,
+        )
+    )
+    base_rows = {row["edits"]: row for row in baseline.get("incremental", {}).get("edits", [])}
+    for row in payload.get("edits", []):
+        base_row = base_rows.get(row["edits"])
+        if base_row is None:
+            continue
+        base_reuse = float(base_row["incremental"].get("reuse_fraction", 0.0))
+        fresh_reuse = float(row["incremental"].get("reuse_fraction", 0.0))
+        floor = base_reuse * (1.0 - REUSE_FRACTION_TOLERANCE)
+        findings.append(
+            Finding(family, f"edit{row['edits']} reuse_fraction", base_reuse, fresh_reuse, fresh_reuse < floor)
+        )
+        base_ratio = float(base_row.get("sample_ratio", 0.0))
+        fresh_ratio = float(row.get("sample_ratio", 0.0))
+        ceiling = base_ratio * (1.0 + SAMPLE_RATIO_TOLERANCE) + SAMPLE_RATIO_SLACK
+        findings.append(
+            Finding(family, f"edit{row['edits']} sample_ratio", base_ratio, fresh_ratio, fresh_ratio > ceiling)
+        )
+    return findings
+
+
 def compare_kernels(family: str, baseline: dict, fresh: dict) -> List[Finding]:
     """Fused-kernel summary: hit bit-identity is hard, speedups are soft.
 
@@ -219,6 +279,7 @@ FAMILIES = (
     ("BENCH_adaptive.json", lambda b, f: compare_sigma_ratios("adaptive", b, f, "adaptive_allocation")),
     ("BENCH_importance.json", lambda b, f: compare_sigma_ratios("importance", b, f, "importance")),
     ("BENCH_store.json", lambda b, f: compare_reuse_fractions("store", b, f)),
+    ("BENCH_incremental.json", lambda b, f: compare_incremental("incremental", b, f)),
     ("BENCH_kernels.json", lambda b, f: compare_kernels("kernels", b, f)),
     ("BENCH_observability.json", lambda b, f: compare_observability("observability", b, f)),
 )

@@ -62,6 +62,13 @@ from repro.core.profiles import (
     parse_distribution_spec,
 )
 from repro.core.qcoral import QCoralAnalyzer, QCoralConfig, QCoralResult, RoundReport
+from repro.incremental import (
+    ConstraintDiff,
+    FactorDelta,
+    ReusePlan,
+    diff_constraint_sets,
+    plan_reuse,
+)
 from repro.exec import (
     EXECUTOR_KINDS,
     Executor,
@@ -151,6 +158,12 @@ __all__ = [
     "ESTIMATION_METHODS",
     "ImportanceSampler",
     "importance_sampling",
+    # Incremental re-quantification (constraint-set diff + reuse plan)
+    "ConstraintDiff",
+    "FactorDelta",
+    "diff_constraint_sets",
+    "ReusePlan",
+    "plan_reuse",
     # Executor backends
     "Executor",
     "SerialExecutor",

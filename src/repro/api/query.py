@@ -156,6 +156,7 @@ class Query:
     _trace_sample_every: int = 1
     _ledger_path: Optional[str] = None
     _ledger_backend: Optional[str] = None
+    _baseline: Optional[ConstraintSet] = None
 
     # ------------------------------------------------------------------ #
     # Fluent refinement (every method returns a NEW query)
@@ -270,6 +271,90 @@ class Query:
             raise ConfigurationError(f"unknown ledger backend {backend!r}; expected one of {LEDGER_BACKENDS}")
         return replace(self, _ledger_path=path, _ledger_backend=backend)
 
+    def against_baseline(self, baseline: Union[str, ConstraintSet]) -> "Query":
+        """Run this query *incrementally* against a previous version.
+
+        ``baseline`` is the constraint set of the program version last
+        quantified (text or parsed).  Before sampling, the run diffs the two
+        versions through the store's canonical factor keys
+        (:mod:`repro.incremental`): factors the diff proves unchanged reuse
+        stored estimates outright — zero samples, exactly like a warm store
+        freeze — and the budget concentrates on the changed residual.  The
+        finished report carries a ``REUSE_SUMMARY`` diagnostic (factors
+        reused, samples saved, residual budget), which the run ledger records
+        too.
+
+        Only constraint-set queries support a baseline; incremental reuse
+        also needs the PARTCACHE feature (it is what gives factors canonical
+        keys), which is validated at run time.  Without an attached store
+        the diff still runs and the summary reports an all-cold plan.
+        """
+        if not isinstance(self._target, _ConstraintTarget):
+            raise ConfigurationError(
+                "against_baseline() applies to constraint-set queries (Session.quantify); "
+                "symbolically execute both program versions and diff their constraint sets instead"
+            )
+        from repro.lang.parser import parse_constraint_set
+
+        parsed = parse_constraint_set(baseline) if isinstance(baseline, str) else baseline
+        return replace(self, _baseline=parsed)
+
+    def reuse_plan(self):
+        """Project the incremental budget without running the query.
+
+        Diffs the baseline (set with :meth:`against_baseline`) against this
+        query's constraint set and folds in the store's per-factor coverage;
+        returns the :class:`~repro.incremental.plan.ReusePlan` the run would
+        execute.  A store named by this query (``with_store``) is opened
+        read-only for the lookup and closed again.
+        """
+        config = self.compile()
+        diff = self._baseline_diff(config)
+        session = self._session
+        session._check_open()
+        settings = dict(self._settings)
+        owned = None
+        if "store_path" in settings or "store_backend" in settings or config.wants_store:
+            from repro.store.backends import open_store
+
+            owned = open_store(config.store_path, config.store_backend, readonly=True)
+            store = owned
+        else:
+            store = session.store
+        try:
+            from repro.incremental.plan import plan_reuse
+
+            return plan_reuse(diff, store, config.samples_per_query)
+        finally:
+            if owned is not None:
+                owned.close()
+
+    def _baseline_diff(self, config: QCoralConfig):
+        """The constraint-set diff of this query's baseline vs its target."""
+        if self._baseline is None:
+            raise ConfigurationError("no baseline set; call against_baseline() first")
+        if not isinstance(self._target, _ConstraintTarget):
+            raise ConfigurationError("incremental runs need a constraint-set target")
+        if self._profile is None:
+            raise ConfigurationError(
+                "incremental quantification needs a usage profile "
+                "(pass one to Session.quantify, e.g. {'x': (-1, 1)})"
+            )
+        if not config.partition_and_cache:
+            raise ConfigurationError(
+                "incremental quantification needs the PARTCACHE feature: "
+                "factor reuse keys on the canonical factors it produces"
+            )
+        from repro.incremental.diff import diff_constraint_sets
+
+        return diff_constraint_sets(
+            self._baseline,
+            self._target.constraint_set,
+            self._profile,
+            config=config,
+            simplify=config.simplify,
+        )
+
     # ------------------------------------------------------------------ #
     # Compilation and execution
     # ------------------------------------------------------------------ #
@@ -345,12 +430,27 @@ class Query:
                 )
             analyzer = QCoralAnalyzer(self._profile, config, executor=executor, store=store, observability=observability)
             try:
+                # An incremental run plans its reuse before sampling: the
+                # diff and the store-coverage projection are RNG-free, so
+                # they cannot perturb the estimates (the bit-identity
+                # contract of an all-changed diff vs a cold run rests on
+                # exactly this).
+                reuse = None
+                if self._baseline is not None:
+                    from repro.incremental.plan import plan_reuse
+
+                    diff = self._baseline_diff(config)
+                    reuse = (diff, plan_reuse(diff, analyzer.store, config.samples_per_query))
                 result = yield from analyzer.analyze_stream(self._target.constraint_set)
             finally:
                 analyzer.close()
                 if owned_obs is not None:
                     owned_obs.flush_trace()
             report = Report.from_qcoral(result)
+            if reuse is not None:
+                from repro.incremental.plan import attach_reuse_summary
+
+                report = attach_reuse_summary(report, reuse[0], reuse[1])
             self._record_run(report, self._profile)
             return report
 

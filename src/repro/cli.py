@@ -20,6 +20,20 @@ built on the :mod:`repro.api` Session facade:
     trajectory across the ledger), and ``lint-trace`` (validate a JSONL trace
     file, header record included).
 
+``qcoral ci``
+    The incremental commit gate: quantify a candidate constraint set —
+    incrementally against a ``--baseline-file`` when one is given, reusing
+    stored per-factor estimates for everything the edit left untouched —
+    record the run in the ledger, and gate on estimate drift vs the baseline
+    family's previous recorded run (``--max-drift-sigmas``) and on a
+    declared reliability floor (``--min-probability``).
+
+Exit-code contract shared by the gate commands (``ci``, ``obs diff``):
+**0** — ran and passed; **1** — ran and the gate tripped (drift/floor/lint
+violation); **2** — usage error (missing files, malformed flags, a ledger
+too empty to compare) — the gate never ran, so CI must not read 2 as a
+verdict.
+
 The estimation/executor/store options shared by both commands live in one
 parent parser, so the two flag sets can never drift apart, and every
 ``choices`` list is read live from the backend registries — methods,
@@ -49,8 +63,9 @@ from repro.core.profiles import (
 )
 from repro.core.qcoral import QCoralConfig
 from repro.core.stratified import ALLOCATION_POLICIES
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, DomainError, ReproError, UsageError
 from repro.exec.executor import EXECUTOR_KINDS
+from repro.incremental import diff_constraint_sets
 from repro.lang.kernel import KERNEL_TIERS, TIER_ENV, set_kernel_tier
 from repro.lang.parser import parse_constraint_set
 from repro.obs import Observability
@@ -59,6 +74,7 @@ from repro.obs.ledger import (
     LEDGER_BACKENDS,
     LedgerEntry,
     estimate_drift_sigmas,
+    family_digest,
     open_ledger,
     phase_timings,
 )
@@ -447,7 +463,7 @@ def _sniff_obs_file(path: str) -> tuple:
     else the first JSON line's shape — so renamed files still classify.
     """
     if not os.path.exists(path):
-        raise ReproError(f"{path}: no such file")
+        raise UsageError(f"{path}: no such file")
     with open(path, "rb") as handle:
         magic = handle.read(16)
     if magic.startswith(b"SQLite format 3"):
@@ -460,21 +476,21 @@ def _sniff_obs_file(path: str) -> tuple:
             try:
                 payload = json.loads(line)
             except json.JSONDecodeError:
-                raise ReproError(f"{path}: not a ledger or trace file (first record is not JSON)") from None
+                raise UsageError(f"{path}: not a ledger or trace file (first record is not JSON)") from None
             if isinstance(payload, dict):
                 schema = payload.get("schema")
                 if isinstance(schema, str) and schema.startswith("qcoral-ledger"):
                     return "ledger", "jsonl"
                 if payload.get("record") == "header" or "span_id" in payload:
                     return "trace", None
-            raise ReproError(f"{path}: unrecognised observability record (not a ledger entry or trace span)")
-    raise ReproError(f"{path}: empty file")
+            raise UsageError(f"{path}: unrecognised observability record (not a ledger entry or trace span)")
+    raise UsageError(f"{path}: empty file")
 
 
 def _load_ledger_entries(path: str, backend: Optional[str]) -> list:
     kind, sniffed = _sniff_obs_file(path)
     if kind != "ledger":
-        raise ReproError(f"{path}: this is a trace file, not a run ledger")
+        raise UsageError(f"{path}: this is a trace file, not a run ledger")
     with open_ledger(path, backend if backend is not None else sniffed) as ledger:
         return ledger.entries()
 
@@ -485,10 +501,10 @@ def _pick_family(entries: Sequence[LedgerEntry], family: Optional[str]) -> str:
         matches = [entry.family for entry in entries if entry.family.startswith(family)]
         if not matches:
             known = ", ".join(sorted({entry.family for entry in entries}))
-            raise ReproError(f"family {family!r} not found in ledger; known families: {known}")
+            raise UsageError(f"family {family!r} not found in ledger; known families: {known}")
         resolved = sorted(set(matches))
         if len(resolved) > 1:
-            raise ReproError(f"family prefix {family!r} is ambiguous: {', '.join(resolved)}")
+            raise UsageError(f"family prefix {family!r} is ambiguous: {', '.join(resolved)}")
         return resolved[0]
     return entries[-1].family
 
@@ -578,7 +594,7 @@ def _command_obs_summary(args: argparse.Namespace) -> int:
 def _command_obs_history(args: argparse.Namespace) -> int:
     entries = _load_ledger_entries(args.path, args.backend)
     if not entries:
-        raise ReproError(f"{args.path}: the ledger is empty")
+        raise UsageError(f"{args.path}: the ledger is empty")
     family = _pick_family(entries, args.family)
     selected = [entry for entry in entries if entry.family == family]
     if args.limit is not None and args.limit > 0:
@@ -605,14 +621,32 @@ def _command_obs_history(args: argparse.Namespace) -> int:
     return 0
 
 
+def _gate_exit(violations: Sequence[str], ok_message: str, *, quiet: bool = False) -> int:
+    """The shared verdict tail of the gate commands (``ci``, ``obs diff``).
+
+    Prints one ``GATE:`` line per violation and returns 1, or the single
+    ``OK:`` line and returns 0.  ``quiet`` suppresses the text (used by
+    ``--json``, where the same verdict rides in the payload instead) while
+    keeping the exit code identical, so scripts can rely on either channel.
+    """
+    if violations:
+        if not quiet:
+            for violation in violations:
+                print(f"GATE: {violation}")
+        return 1
+    if not quiet:
+        print(f"OK: {ok_message}")
+    return 0
+
+
 def _command_obs_diff(args: argparse.Namespace) -> int:
     entries = _load_ledger_entries(args.path, args.backend)
     if not entries:
-        raise ReproError(f"{args.path}: the ledger is empty")
+        raise UsageError(f"{args.path}: the ledger is empty")
     family = _pick_family(entries, args.family)
     selected = [entry for entry in entries if entry.family == family]
     if len(selected) < 2:
-        raise ReproError(
+        raise UsageError(
             f"need at least two runs of family {family} to diff; the ledger has {len(selected)}"
         )
     a, b = selected[-2], selected[-1]
@@ -638,17 +672,16 @@ def _command_obs_diff(args: argparse.Namespace) -> int:
                 change = "   new" if after > 0 else "     -"
             print(f"  {phase:<18}{before:>10.4f}  {after:>10.4f}  {change}")
     print(f"drift:      {drift:.2f} sigma (threshold {args.threshold:g})")
+    violations = []
     if drift >= args.threshold:
-        print(f"DRIFT: estimates differ by {drift:.2f} sigma (>= {args.threshold:g})")
-        return 1
-    print("OK: estimates agree within the threshold")
-    return 0
+        violations.append(f"estimates differ by {drift:.2f} sigma (>= {args.threshold:g})")
+    return _gate_exit(violations, "estimates agree within the threshold")
 
 
 def _command_obs_lint_trace(args: argparse.Namespace) -> int:
     kind, _ = _sniff_obs_file(args.path)
     if kind != "trace":
-        raise ReproError(f"{args.path}: this is a run ledger, not a trace file")
+        raise UsageError(f"{args.path}: this is a run ledger, not a trace file")
     problems = lint_trace(args.path)
     if problems:
         for problem in problems:
@@ -659,6 +692,131 @@ def _command_obs_lint_trace(args: argparse.Namespace) -> int:
         spans = sum(1 for line in handle if line.strip() and '"span_id"' in line)
     print(f"OK: {args.path} is a well-formed trace ({spans} spans, header present)")
     return 0
+
+
+# --------------------------------------------------------------------- #
+# `qcoral ci`: the incremental commit gate
+# --------------------------------------------------------------------- #
+def _read_constraint_text(inline: Optional[str], path: Optional[str], what: str) -> str:
+    """Fetch one constraint set from the flag pair (inline text, file path)."""
+    if path:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return handle.read()
+        except OSError as error:
+            raise UsageError(f"cannot read {what} file {path}: {error}") from error
+    if not inline:
+        raise UsageError(f"provide the {what} constraints inline or via a file flag")
+    return inline
+
+
+def _reuse_evidence(report: Report) -> Optional[Dict[str, object]]:
+    """The REUSE_SUMMARY diagnostic's evidence, when the run carried one."""
+    for diagnostic in report.diagnostics:
+        if diagnostic.code == "REUSE_SUMMARY":
+            return dict(diagnostic.evidence)
+    return None
+
+
+def _command_ci(args: argparse.Namespace) -> int:
+    if args.ledger is None:
+        raise UsageError("qcoral ci needs --ledger: the gate compares against the previous recorded run")
+    if args.max_drift_sigmas <= 0:
+        raise UsageError(f"--max-drift-sigmas must be positive, got {args.max_drift_sigmas:g}")
+    if args.min_probability is not None and not 0.0 <= args.min_probability <= 1.0:
+        raise UsageError(f"--min-probability must lie in [0, 1], got {args.min_probability:g}")
+    candidate_text = _read_constraint_text(args.constraints, args.constraints_file, "candidate")
+    baseline_text: Optional[str] = None
+    if args.baseline or args.baseline_file:
+        baseline_text = _read_constraint_text(args.baseline, args.baseline_file, "baseline")
+    config = _config_from_args(args)
+    try:
+        candidate_set = parse_constraint_set(candidate_text)
+        baseline_set = parse_constraint_set(baseline_text) if baseline_text is not None else None
+        profile = UsageProfile(_parse_domain(args.domain))
+    except UsageError:
+        raise
+    except ReproError as error:
+        raise UsageError(str(error)) from error
+
+    # The edit changes the *candidate's* family digest, so the drift
+    # comparison must look up the BASELINE version's family — computed from
+    # the same diff the incremental run itself uses.
+    diff = None
+    if baseline_set is not None:
+        if not config.partition_and_cache:
+            raise UsageError("incremental quantification needs the PARTCACHE feature; drop --no-partcache")
+        try:
+            diff = diff_constraint_sets(
+                baseline_set, candidate_set, profile, config=config, simplify=config.simplify
+            )
+        except (ConfigurationError, DomainError) as error:
+            raise UsageError(str(error)) from error
+
+    observability = _observability_from_args(args)
+    with _session_from_args(args, observability) as session:
+        query = session.quantify(candidate_set, profile, config=config)
+        if baseline_set is not None:
+            query = query.against_baseline(baseline_set)
+        try:
+            report = query.run()
+        except (ConfigurationError, DomainError) as error:
+            raise UsageError(str(error)) from error
+        entries = session.ledger.entries()
+    _emit_observability(args, observability)
+
+    current = entries[-1]
+    baseline_family = family_digest(diff.method, diff.baseline_factor_keys) if diff is not None else current.family
+    history = [entry for entry in entries[:-1] if entry.family == baseline_family]
+    previous = history[-1] if history else None
+    drift = estimate_drift_sigmas(previous, current) if previous is not None else None
+
+    violations = []
+    if drift is not None and drift >= args.max_drift_sigmas:
+        violations.append(
+            f"estimate drifted {drift:.2f} sigma from run {previous.run_id} "
+            f"(>= {args.max_drift_sigmas:g})"
+        )
+    if args.min_probability is not None and report.mean < args.min_probability:
+        violations.append(
+            f"probability {report.mean:.6f} is below the floor {args.min_probability:g}"
+        )
+
+    reuse = _reuse_evidence(report)
+    if args.json:
+        payload = {
+            "report": report.to_dict(),
+            "gate": {
+                "family": current.family,
+                "baseline_family": baseline_family,
+                "previous_run": previous.run_id if previous is not None else None,
+                "drift_sigmas": drift,
+                "max_drift_sigmas": args.max_drift_sigmas,
+                "min_probability": args.min_probability,
+                "violations": violations,
+                "passed": not violations,
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return _gate_exit(violations, "", quiet=True)
+    print(f"family:       {current.family}")
+    if previous is not None:
+        print(f"baseline:     run {previous.run_id}  ({_format_created(previous.created)})")
+    else:
+        print(f"baseline:     none (first recorded run of family {baseline_family})")
+    print(f"probability:  {report.mean:.6f}")
+    print(f"std:          {report.std:.3e}")
+    print(f"samples:      {report.total_samples}")
+    if reuse is not None:
+        print(
+            f"reuse:        {reuse['factors_reused']}/{reuse['factors_total']} factors reused, "
+            f"{reuse['samples_saved']} samples saved"
+        )
+    if drift is not None:
+        print(f"drift:        {drift:.2f} sigma (threshold {args.max_drift_sigmas:g})")
+    else:
+        print("drift:        n/a (no prior run of this family to compare)")
+    return _gate_exit(violations, "run recorded; the gate passed")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -702,6 +860,42 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     quantify.set_defaults(handler=_command_quantify)
+
+    ci = subparsers.add_parser(
+        "ci",
+        help="incremental commit gate: quantify against a baseline, gate on drift and a floor",
+        parents=[common],
+    )
+    ci.add_argument("constraints", nargs="?", default="", help="candidate constraint set text")
+    ci.add_argument("--constraints-file", help="file containing the candidate constraint set")
+    ci.add_argument("--baseline", default="", help="baseline constraint set text (previous version)")
+    ci.add_argument("--baseline-file", help="file containing the baseline constraint set")
+    ci.add_argument(
+        "--domain",
+        action="append",
+        default=[],
+        metavar="VAR=SPEC",
+        help=(
+            "domain of one input variable (repeatable); SPEC is lo:hi, "
+            "int:lo:hi, binomial:n:p, poisson:rate:lo:hi, geometric:p:lo:hi, "
+            "categorical:lo:w1,w2,..., or normal:mean:std:lo:hi"
+        ),
+    )
+    ci.add_argument(
+        "--max-drift-sigmas",
+        type=float,
+        default=3.0,
+        metavar="SIGMA",
+        help="gate: fail when the estimate drifts this many sigma from the previous run (default 3.0)",
+    )
+    ci.add_argument(
+        "--min-probability",
+        type=float,
+        default=None,
+        metavar="P",
+        help="gate: fail when the estimated probability falls below this floor (default: no floor)",
+    )
+    ci.set_defaults(handler=_command_ci)
 
     obs = subparsers.add_parser("obs", help="analyse run ledgers and trace files across runs")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -750,6 +944,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             os.environ[TIER_ENV] = args.kernel_tier
             set_kernel_tier(args.kernel_tier)
         return args.handler(args)
+    except UsageError as error:
+        # Usage failures are exit 2 so CI distinguishes "the gate tripped"
+        # (exit 1) from "the gate never ran" — see the module docstring.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -136,3 +136,22 @@ METHOD_REGISTRY.register(
         feature="IMP",
     ),
 )
+
+
+def store_method_tag(config: "QCoralConfig") -> str:
+    """The persistent-store method tag a configuration samples under.
+
+    This is the single place the config → method-tag mapping lives: the
+    analyzer keys its store context with it, the run ledger derives family
+    digests from it, and the incremental differ must produce digests that
+    line up with both — so all three call here.  Non-stratified runs always
+    tag ``mc`` regardless of the configured method name (the STRAT feature
+    off means whole-domain hit-or-miss counts).
+    """
+    from repro.store.keys import mc_method
+
+    if not config.stratified:
+        return mc_method()
+    if config.method not in METHOD_REGISTRY:
+        return config.method
+    return METHOD_REGISTRY.get(config.method).store_method(config)

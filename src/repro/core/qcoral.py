@@ -423,6 +423,33 @@ class QCoralResult:
         target = self.config.target_std
         return target is not None and self.std <= target
 
+    def _distinct_factors(self) -> Tuple[FactorReport, ...]:
+        """Each distinct factor once (later occurrences are in-run shares)."""
+        seen = set()
+        distinct: List[FactorReport] = []
+        for path_report in self.path_reports:
+            for factor_report in path_report.factors:
+                key = factor_report.factor.canonical()
+                if key not in seen:
+                    seen.add(key)
+                    distinct.append(factor_report)
+        return tuple(distinct)
+
+    @property
+    def reused_factor_count(self) -> int:
+        """Distinct factors settled without drawing a sample this run.
+
+        Counts warm store freezes, outright exact reuses, and ICP-exact
+        resolutions alike — everything the incremental gate may claim as
+        "paid for by a previous run or by the solver, not by this budget".
+        """
+        return sum(1 for factor in self._distinct_factors() if factor.samples == 0)
+
+    @property
+    def fresh_factor_count(self) -> int:
+        """Distinct factors that drew at least one sample this run."""
+        return sum(1 for factor in self._distinct_factors() if factor.samples > 0)
+
     def __repr__(self) -> str:
         suffix = f", exec={self.executor}" if self.executor is not None else ""
         return (

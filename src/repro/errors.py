@@ -69,3 +69,13 @@ class AnalysisError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when an analysis or solver configuration is invalid."""
+
+
+class UsageError(ReproError):
+    """Raised when a CLI invocation is malformed or its inputs are unusable.
+
+    The command-line layer maps this to exit code 2, keeping it distinct
+    from a *gate verdict* (exit 1): ``qcoral ci`` and ``qcoral obs diff``
+    exit 1 only when the gate they implement actually tripped, never because
+    an input file was missing or a flag combination made no sense.
+    """

@@ -1,0 +1,59 @@
+"""Incremental re-quantification for evolving programs.
+
+The persistent estimate store (PR 3) made per-factor estimates durable across
+runs; the run ledger (PR 8) made whole runs comparable across revisions.
+This package closes the loop for *program evolution*: given two versions of
+a constraint set, it answers "which factors did the edit actually touch?"
+and turns the answer into a sampling budget that shrinks with the size of
+the change.
+
+Three layers:
+
+* :mod:`repro.incremental.diff` — the constraint-set differ.  Both versions
+  are factored exactly as the engine factors them (simplification,
+  dependency partition, per-block grouping) and keyed with the store's
+  alpha-renamed canonical digests, so a factor classifies as *unchanged*
+  precisely when the store would let the new run reuse the old run's counts.
+* :mod:`repro.incremental.plan` — the budget planner.  Store coverage
+  queries per factor turn the diff into a :class:`~repro.incremental.plan.ReusePlan`:
+  unchanged-and-covered factors are reused outright (zero samples, exactly
+  like a warm store freeze) and the entire budget concentrates on the
+  changed residual through the engine's existing allocation machinery.
+* The ``qcoral ci`` command (:mod:`repro.cli`) — runs the incremental
+  quantification, records it in the run ledger, compares against the
+  baseline family's previous entry with
+  :func:`~repro.obs.ledger.estimate_drift_sigmas`, and exits non-zero on
+  drift or a missed reliability floor.
+
+Bit-identity contract: an incremental run whose diff finds *everything*
+changed draws exactly what a cold run draws — store lookups that miss never
+touch an RNG stream — so it is bit-identical to the cold run at the same
+seed.
+"""
+
+from repro.incremental.diff import (
+    ADDED,
+    CHANGED,
+    REMOVED,
+    UNCHANGED,
+    ConstraintDiff,
+    FactorDelta,
+    FactorVersion,
+    diff_constraint_sets,
+)
+from repro.incremental.plan import FactorPlan, ReusePlan, attach_reuse_summary, plan_reuse
+
+__all__ = [
+    "ADDED",
+    "CHANGED",
+    "REMOVED",
+    "UNCHANGED",
+    "ConstraintDiff",
+    "FactorDelta",
+    "FactorVersion",
+    "diff_constraint_sets",
+    "FactorPlan",
+    "ReusePlan",
+    "attach_reuse_summary",
+    "plan_reuse",
+]

@@ -1,0 +1,137 @@
+"""The incremental budget planner: store coverage → per-factor reuse plan.
+
+A :class:`ReusePlan` projects what an incremental run will do before it runs:
+for every factor of the *candidate* version, how many stored samples the
+estimate store already holds under that factor's canonical digest, and how
+many samples this run still owes it.  Factors whose stored evidence covers
+the whole per-factor budget are *reused outright* — the engine freezes them
+before sampling (the warm-freeze path of
+:meth:`~repro.core.qcoral.QCoralAnalyzer._new_state`) and the round loop's
+pooled budget, which sums residual needs only, concentrates everything on
+the changed factors through the configured allocation policy (Neyman when
+asked for).
+
+The plan is a *projection*, not a command: the engine remains the single
+authority on reuse (a stratified entry whose paving fingerprint no longer
+matches, for example, warm-starts less than the plan promised).  The
+REUSE_SUMMARY diagnostic therefore reports the plan's numbers alongside the
+run's actually-drawn samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.incremental.diff import REMOVED, ConstraintDiff, FactorDelta
+from repro.obs.diagnostics import reuse_summary_diagnostic
+from repro.store.backends import EstimateStore, FactorCoverage
+
+
+@dataclass(frozen=True)
+class FactorPlan:
+    """Planned treatment of one candidate-version factor."""
+
+    delta: FactorDelta
+    #: Stored samples under this factor's digest (0 when the store has none).
+    stored_samples: int
+    #: True when a previous run resolved the factor exactly (no sampling).
+    exact: bool
+    #: Samples this run still owes the factor (0 = reused outright).
+    planned_samples: int
+
+    @property
+    def reused(self) -> bool:
+        return self.planned_samples == 0
+
+
+@dataclass(frozen=True)
+class ReusePlan:
+    """The projected sampling budget of one incremental run."""
+
+    #: Per-factor nominal budget the plan was computed against.
+    budget_per_factor: int
+    #: One plan per candidate-version factor, in diff order.
+    factors: Tuple[FactorPlan, ...]
+
+    @property
+    def total_factors(self) -> int:
+        return len(self.factors)
+
+    @property
+    def reused_factors(self) -> int:
+        return sum(1 for factor in self.factors if factor.reused)
+
+    @property
+    def reuse_fraction(self) -> float:
+        return self.reused_factors / self.total_factors if self.factors else 0.0
+
+    @property
+    def cold_budget(self) -> int:
+        """What a cold run would owe: the full budget for every factor."""
+        return self.budget_per_factor * self.total_factors
+
+    @property
+    def residual_budget(self) -> int:
+        """Samples the incremental run still plans to draw."""
+        return sum(factor.planned_samples for factor in self.factors)
+
+    @property
+    def samples_saved(self) -> int:
+        """Samples the stored evidence saves relative to a cold run."""
+        return self.cold_budget - self.residual_budget
+
+    def summary(self) -> str:
+        return (
+            f"{self.reused_factors}/{self.total_factors} factors reused, "
+            f"{self.samples_saved} of {self.cold_budget} samples saved, "
+            f"residual budget {self.residual_budget}"
+        )
+
+
+def plan_reuse(diff: ConstraintDiff, store: Optional[EstimateStore], budget_per_factor: int) -> ReusePlan:
+    """Turn a diff plus store coverage into the incremental budget plan.
+
+    Coverage is queried for *every* candidate factor, not only the unchanged
+    ones — a changed or added factor another program already sampled under
+    the same digest is a perfectly sound reuse, and the engine would take it
+    whether the plan mentions it or not.  Without a store every factor plans
+    its full budget (the all-cold projection).
+    """
+    candidate_deltas = [delta for delta in diff.deltas if delta.status != REMOVED]
+    coverage = store.coverage([delta.key for delta in candidate_deltas]) if store is not None else {}
+    factors = []
+    for delta in candidate_deltas:
+        covered = coverage.get(delta.key, FactorCoverage(samples=0, exact=False))
+        planned = 0 if covered.exact else max(0, budget_per_factor - covered.samples)
+        factors.append(
+            FactorPlan(
+                delta=delta,
+                stored_samples=covered.samples,
+                exact=covered.exact,
+                planned_samples=planned,
+            )
+        )
+    return ReusePlan(budget_per_factor=budget_per_factor, factors=tuple(factors))
+
+
+def attach_reuse_summary(report, diff: ConstraintDiff, plan: ReusePlan):
+    """Append the REUSE_SUMMARY diagnostic to a finished run's report.
+
+    Returns a new :class:`~repro.api.report.Report` (reports are frozen)
+    whose diagnostics end with the reuse record; the run ledger then carries
+    it automatically.  ``samples_drawn`` comes from the report itself, so
+    the diagnostic juxtaposes the plan with what actually happened.
+    """
+    diagnostic = reuse_summary_diagnostic(
+        factors_total=plan.total_factors,
+        factors_reused=plan.reused_factors,
+        factors_unchanged=len(diff.unchanged),
+        factors_changed=len(diff.changed),
+        factors_added=len(diff.added),
+        factors_removed=len(diff.removed),
+        samples_saved=plan.samples_saved,
+        residual_budget=plan.residual_budget,
+        samples_drawn=report.total_samples,
+    )
+    return replace(report, diagnostics=report.diagnostics + (diagnostic,))

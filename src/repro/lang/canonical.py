@@ -29,6 +29,7 @@ factors may receive different keys — a missed reuse, never an unsound one.
 from __future__ import annotations
 
 import itertools
+import re
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -165,3 +166,27 @@ def alpha_canonical_greedy(pc: ast.PathCondition) -> AlphaCanonical:
 def alpha_equivalent(first: ast.PathCondition, second: ast.PathCondition) -> bool:
     """True when the two path conditions are equal up to variable renaming."""
     return alpha_canonical(first).text == alpha_canonical(second).text
+
+
+#: Placeholder standing in for every numeric literal in a skeleton.
+_SKELETON_NUMBER = "#"
+
+#: Numeric literals as the constraint language renders them in canonical
+#: text: an optional sign inside an expression never survives canonicalisation
+#: as part of the literal, so digits with an optional fraction/exponent are
+#: enough.
+_NUMBER_PATTERN = re.compile(r"\b\d+(?:\.\d+)?(?:[eE][-+]?\d+)?\b")
+
+
+def skeleton(pc: ast.PathCondition) -> str:
+    """The structural skeleton of a factor: alpha-canonical text with every
+    numeric literal abstracted to ``#``.
+
+    Two versions of an evolving program typically edit a factor by moving a
+    threshold (``sin(c) <= 0.5`` → ``sin(c) <= 0.7``); the skeletons of the
+    two revisions are equal while their canonical texts differ, which is how
+    the incremental differ pairs an old factor with the edit that replaced
+    it.  A skeleton is a *pairing heuristic* only — never a reuse key: reuse
+    always goes through the exact store digests of :mod:`repro.store.keys`.
+    """
+    return _NUMBER_PATTERN.sub(_SKELETON_NUMBER, alpha_canonical(pc).text)

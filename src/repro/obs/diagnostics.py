@@ -424,6 +424,48 @@ def diagnose_run(
     return tuple(diagnostics)
 
 
+def reuse_summary_diagnostic(
+    *,
+    factors_total: int,
+    factors_reused: int,
+    factors_unchanged: int,
+    factors_changed: int,
+    factors_added: int,
+    factors_removed: int,
+    samples_saved: int,
+    residual_budget: int,
+    samples_drawn: int,
+) -> Diagnostic:
+    """The REUSE_SUMMARY record of an incremental (baseline-diffed) run.
+
+    Emitted by the incremental layer (:mod:`repro.incremental.plan`) rather
+    than :func:`diagnose_run` — it needs the constraint-set diff and the
+    budget plan, which only exist for runs executed against a baseline.
+    A pure function of plan numbers and the run's sample count, so it is
+    ``timing=False`` and covered by the fixed-seed bit-identity contract.
+    """
+    return _diag(
+        "info",
+        "REUSE_SUMMARY",
+        (
+            f"reused {factors_reused}/{factors_total} factors "
+            f"({factors_unchanged} unchanged, {factors_changed} changed, "
+            f"{factors_added} added, {factors_removed} removed); "
+            f"{samples_saved} samples saved, residual budget {residual_budget}, "
+            f"{samples_drawn} drawn"
+        ),
+        factors_total=factors_total,
+        factors_reused=factors_reused,
+        factors_unchanged=factors_unchanged,
+        factors_changed=factors_changed,
+        factors_added=factors_added,
+        factors_removed=factors_removed,
+        samples_saved=samples_saved,
+        residual_budget=residual_budget,
+        samples_drawn=samples_drawn,
+    )
+
+
 def deterministic_diagnostics(diagnostics: Sequence[Diagnostic]) -> Tuple[Diagnostic, ...]:
     """The subset covered by the fixed-seed bit-identity contract."""
     return tuple(d for d in diagnostics if not d.timing)

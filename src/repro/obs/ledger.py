@@ -178,6 +178,16 @@ class RunLedger:
             seen.setdefault(entry.family, None)
         return list(seen)
 
+    def latest(self, family: str) -> Optional[LedgerEntry]:
+        """The most recent entry of ``family``, or None when it has none.
+
+        The incremental CI gate uses this to fetch the comparison baseline:
+        the family digest of the *baseline* constraint set resolves here to
+        the last recorded run of that program version.
+        """
+        entries = self.entries(family)
+        return entries[-1] if entries else None
+
     def __len__(self) -> int:
         return len(self.entries())
 
@@ -338,18 +348,14 @@ def _canonical_factor_keys(report: Any, profile: Any) -> Tuple[str, Tuple[str, .
     function — ``repro.core.stratified`` imports ``repro.obs``, so importing
     the other direction at module level would cycle.
     """
-    from repro.core.methods import METHOD_REGISTRY
-    from repro.store.keys import StoreContext, mc_method
+    from repro.core.methods import store_method_tag
+    from repro.store.keys import StoreContext
 
     config = report.config
     method_tag = report.method
     context = None
     if config is not None:
-        if config.stratified:
-            spec = METHOD_REGISTRY.get(config.method)
-            method_tag = spec.store_method(config) if spec is not None else config.method
-        else:
-            method_tag = mc_method()
+        method_tag = store_method_tag(config)
         if profile is not None:
             context = StoreContext(profile, method_tag)
     digests: List[str] = []
@@ -366,6 +372,20 @@ def _canonical_factor_keys(report: Any, profile: Any) -> Tuple[str, Tuple[str, .
     return method_tag, tuple(sorted(set(digests)))
 
 
+def family_digest(method_tag: str, factor_keys: Tuple[str, ...]) -> str:
+    """The constraint-family digest of a run over ``factor_keys``.
+
+    A pure function of the method tag, the estimator version, and the sorted
+    distinct factor digests — so the family of a constraint set is computable
+    *without* running it (the incremental gate derives the baseline version's
+    family from a diff, then looks its last run up in the ledger).
+    """
+    from repro.store.keys import ESTIMATOR_VERSION
+
+    material = "\x1f".join((method_tag, ESTIMATOR_VERSION) + tuple(sorted(set(factor_keys))))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
 def ledger_entry_for(report: Any, profile: Any = None, *, created: Optional[float] = None) -> LedgerEntry:
     """Build the :class:`LedgerEntry` recording one finished run.
 
@@ -377,8 +397,7 @@ def ledger_entry_for(report: Any, profile: Any = None, *, created: Optional[floa
     from repro.store.keys import ESTIMATOR_VERSION
 
     method_tag, factor_keys = _canonical_factor_keys(report, profile)
-    family_material = "\x1f".join((method_tag, ESTIMATOR_VERSION) + factor_keys)
-    family = hashlib.sha256(family_material.encode("utf-8")).hexdigest()[:16]
+    family = family_digest(method_tag, factor_keys)
     payload = report.to_dict()
     fingerprint = config_fingerprint(report.config) if report.config is not None else ""
     run_material = json.dumps(

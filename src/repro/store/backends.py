@@ -29,7 +29,7 @@ import os
 import sqlite3
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.registry import Registry
 from repro.store.entry import StoreEntry, StoreError
@@ -43,6 +43,24 @@ STORE_REGISTRY: "Registry[Callable[..., EstimateStore]]" = Registry("store backe
 #: Backend names accepted throughout the stack (config, CLI).  A live view of
 #: :data:`STORE_REGISTRY` — registered backends appear here too.
 STORE_BACKENDS = STORE_REGISTRY.view()
+
+
+@dataclass(frozen=True)
+class FactorCoverage:
+    """How much stored evidence a store holds for one factor key.
+
+    ``samples`` is the pooled sample count across every merged run;
+    ``exact`` marks entries a previous run resolved without sampling
+    (ICP-exact), which cover any budget outright.  Returned by
+    :meth:`EstimateStore.coverage` for the incremental budget planner.
+    """
+
+    samples: int
+    exact: bool
+
+    def covers(self, budget: int) -> bool:
+        """True when the stored evidence satisfies a ``budget``-sample run."""
+        return self.exact or self.samples >= budget
 
 
 @dataclass
@@ -130,6 +148,23 @@ class EstimateStore:
     def keys(self) -> List[str]:
         """All keys currently stored (snapshot)."""
         raise NotImplementedError
+
+    def coverage(self, keys: Sequence[str]) -> Dict[str, FactorCoverage]:
+        """Stored evidence per factor key, for the incremental planner.
+
+        Returns one :class:`FactorCoverage` per *present* key (absent keys
+        are simply omitted).  Reads go through the backend's ``_load`` hook
+        directly rather than :meth:`get`, so planning a reuse budget does not
+        distort the hit/miss statistics of the run that follows.
+        """
+        result: Dict[str, FactorCoverage] = {}
+        with self._lock:
+            self._check_open()
+            for key in keys:
+                entry = self._load(key)
+                if entry is not None:
+                    result[key] = FactorCoverage(samples=entry.samples, exact=entry.is_exact)
+        return result
 
     def __len__(self) -> int:
         return len(self.keys())

@@ -1,6 +1,6 @@
 """Benchmark subjects used to reproduce the paper's evaluation tables."""
 
-from repro.subjects import aerospace, discrete, programs, solids, volcomp_suite
+from repro.subjects import aerospace, discrete, evolution, programs, solids, volcomp_suite
 from repro.subjects.discrete import (
     DiscreteSubject,
     all_discrete_subjects,
@@ -21,6 +21,7 @@ __all__ = [
     "aerospace",
     "programs",
     "discrete",
+    "evolution",
     "DiscreteSubject",
     "all_discrete_subjects",
     "discrete_subject_by_name",

@@ -1,0 +1,129 @@
+"""A two-version subject pair for the incremental re-quantification engine.
+
+``EVOLUTION_V1`` and ``EVOLUTION_V2`` model one program before and after a
+small edit: five independent continuous factors (disjoint variable sets, so
+PARTCACHE decomposes the path condition into exactly five blocks), of which
+the edit touches only the ``sin`` factor — its threshold moves from 0.5 to
+0.7.  Every factor is nonlinear enough that the ICP paving cannot resolve it
+exactly, so sampling genuinely happens, and every factor has a closed-form
+ground-truth probability, so tests and benchmarks can check estimates
+against truth rather than against each other.
+
+Per-factor truths (uniform profiles)::
+
+    a*a + b*b <= 1      on [-1,1]^2   -> pi/4
+    sin(c) <= 0.5       on [0,2]      -> asin(0.5)/2 = pi/12
+    sin(c) <= 0.7  (v2) on [0,2]      -> asin(0.7)/2
+    d*d*d <= 0.5        on [-1,1]     -> (cbrt(0.5)+1)/2
+    e + f <= 0.75       on [0,1]^2    -> 0.75^2/2
+    cos(g) <= 0.2       on [0,3]      -> (3-acos(0.2))/3
+
+The whole-set probability is the product of the per-factor truths
+(independent blocks).  :func:`edited_version` scales the edit from one
+factor up to all five for the benchmark's edit-size sweep, and
+:func:`fixture_cache_key` gives CI a content-derived cache key for the
+estimate store shared across workflow runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, List, Tuple
+
+from repro.core.profiles import Distribution, UsageProfile, parse_distribution_spec
+
+#: The baseline ("v1") constraint set, one path of five independent factors.
+EVOLUTION_V1 = "a*a + b*b <= 1 && sin(c) <= 0.5 && d*d*d <= 0.5 && e + f <= 0.75 && cos(g) <= 0.2"
+
+#: The candidate ("v2") constraint set: the edit moves only the sin threshold.
+EVOLUTION_V2 = "a*a + b*b <= 1 && sin(c) <= 0.7 && d*d*d <= 0.5 && e + f <= 0.75 && cos(g) <= 0.2"
+
+#: ``variable -> SPEC`` in the CLI ``--domain`` syntax; shared by both versions.
+EVOLUTION_DOMAINS: Dict[str, str] = {
+    "a": "-1:1",
+    "b": "-1:1",
+    "c": "0:2",
+    "d": "-1:1",
+    "e": "0:1",
+    "f": "0:1",
+    "g": "0:3",
+}
+
+#: Closed-form per-factor probabilities of the baseline version, keyed by the
+#: factor's distinguishing variable(s).
+FACTOR_TRUTH_V1: Dict[str, float] = {
+    "ab": math.pi / 4.0,
+    "c": math.asin(0.5) / 2.0,
+    "d": (0.5 ** (1.0 / 3.0) + 1.0) / 2.0,
+    "ef": 0.75 * 0.75 / 2.0,
+    "g": (3.0 - math.acos(0.2)) / 3.0,
+}
+
+#: v2 differs from v1 in the ``c`` factor only.
+FACTOR_TRUTH_V2: Dict[str, float] = dict(FACTOR_TRUTH_V1, c=math.asin(0.7) / 2.0)
+
+#: Whole-set ground truth: the product over the independent factors.
+EXACT_V1 = math.prod(FACTOR_TRUTH_V1.values())
+EXACT_V2 = math.prod(FACTOR_TRUTH_V2.values())
+
+#: The v1 factor texts in ``&&`` order, with the edit applied per index for
+#: :func:`edited_version`'s edit-size sweep (index 1 is the real v1->v2 edit).
+_FACTORS_V1: Tuple[str, ...] = (
+    "a*a + b*b <= 1",
+    "sin(c) <= 0.5",
+    "d*d*d <= 0.5",
+    "e + f <= 0.75",
+    "cos(g) <= 0.2",
+)
+_FACTORS_EDITED: Tuple[str, ...] = (
+    "a*a + b*b <= 0.9",
+    "sin(c) <= 0.7",
+    "d*d*d <= 0.4",
+    "e + f <= 0.7",
+    "cos(g) <= 0.3",
+)
+
+
+def evolution_profile() -> UsageProfile:
+    """The shared uniform usage profile of both versions."""
+    distributions: Dict[str, Distribution] = {
+        name: parse_distribution_spec(spec) for name, spec in EVOLUTION_DOMAINS.items()
+    }
+    return UsageProfile(distributions)
+
+
+def domain_args() -> List[str]:
+    """The fixture's domains as CLI ``--domain`` operands (``VAR=SPEC``)."""
+    return [f"{name}={spec}" for name, spec in EVOLUTION_DOMAINS.items()]
+
+
+def edited_version(edits: int) -> str:
+    """A candidate with the first ``edits`` factors changed (0..5).
+
+    ``edits=0`` returns v1 verbatim (the no-op edit), ``edits=1`` changes a
+    different factor than the canonical v2 edit would — the sweep edits
+    factors in declaration order — and ``edits=5`` changes every factor,
+    the case bound to the bit-identity contract (an all-changed diff must
+    reproduce a cold run exactly at the same seed).
+    """
+    if not 0 <= edits <= len(_FACTORS_V1):
+        raise ValueError(f"edits must lie in [0, {len(_FACTORS_V1)}], got {edits}")
+    factors = _FACTORS_EDITED[:edits] + _FACTORS_V1[edits:]
+    return " && ".join(factors)
+
+
+def fixture_cache_key() -> str:
+    """A content hash CI uses to key the shared estimate-store cache.
+
+    Derived from both version texts, the domains, and the store's
+    ``ESTIMATOR_VERSION``, so any change that would invalidate stored
+    estimates also rolls the cache key.
+    """
+    from repro.store.keys import ESTIMATOR_VERSION
+
+    material = "\x1f".join(
+        [ESTIMATOR_VERSION, EVOLUTION_V1, EVOLUTION_V2]
+        + [f"{name}={spec}" for name, spec in sorted(EVOLUTION_DOMAINS.items())]
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]

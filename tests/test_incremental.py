@@ -1,0 +1,388 @@
+"""Tests of the incremental re-quantification engine and the ``qcoral ci`` gate.
+
+Covers the three layers of :mod:`repro.incremental` end to end: the
+constraint-set differ (alpha-equivalent renames are unchanged, symmetric
+factors disambiguate through the fingerprint tie-break, adds/removes
+classify), the budget planner (unchanged factors reuse stored evidence
+outright, the residual budget concentrates on the edit), and the commit gate
+(exit-code contract 0/1/2, drift and floor violations, REUSE_SUMMARY in the
+report and the ledger).  The bit-identity contract — an incremental run whose
+diff finds everything changed matches a cold run at the same seed — is
+asserted exactly, not approximately.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.api import Session
+from repro.cli import main
+from repro.core.profiles import UniformDistribution, UsageProfile
+from repro.core.qcoral import QCoralConfig
+from repro.errors import ConfigurationError
+from repro.incremental import (
+    ADDED,
+    CHANGED,
+    REMOVED,
+    UNCHANGED,
+    diff_constraint_sets,
+    plan_reuse,
+)
+from repro.lang.parser import parse_constraint_set
+from repro.store import open_store
+from repro.subjects import evolution
+
+PROFILE = evolution.evolution_profile()
+CONFIG = QCoralConfig(samples_per_query=1500, seed=9)
+
+
+def _diff(baseline, candidate, profile=PROFILE, config=CONFIG, **kwargs):
+    return diff_constraint_sets(
+        parse_constraint_set(baseline), parse_constraint_set(candidate), profile, config=config, **kwargs
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The differ
+# --------------------------------------------------------------------------- #
+def test_identical_sets_are_all_unchanged():
+    diff = _diff(evolution.EVOLUTION_V1, evolution.EVOLUTION_V1)
+    assert len(diff.unchanged) == 5
+    assert not diff.changed and not diff.added and not diff.removed
+    assert diff.unchanged_fraction == 1.0
+    assert diff.candidate_factor_keys == diff.baseline_factor_keys
+
+
+def test_single_edit_classifies_one_changed_factor():
+    diff = _diff(evolution.EVOLUTION_V1, evolution.EVOLUTION_V2)
+    assert len(diff.unchanged) == 4
+    assert len(diff.changed) == 1
+    assert not diff.added and not diff.removed
+    (delta,) = diff.changed
+    assert delta.status == CHANGED
+    assert delta.variables == ("c",)
+    # The edit rolls the candidate's factor key but not the baseline's.
+    assert delta.old.digest != delta.new.digest
+
+
+def test_alpha_renamed_factor_is_unchanged():
+    profile = UsageProfile(
+        {name: UniformDistribution(-1.0, 1.0) for name in ("x", "y", "u", "v")}
+    )
+    diff = _diff("x*x + y*y <= 1", "u*u + v*v <= 1", profile=profile)
+    assert len(diff.unchanged) == 1
+    assert not diff.changed and not diff.added and not diff.removed
+
+
+def test_symmetric_factor_disambiguates_by_fingerprint_tiebreak():
+    # x and b are U(0,1); y and a are U(0,2).  "x + y <= 1" and "b + a <= 1"
+    # are the same factor under the role-respecting rename x->b, y->a, but the
+    # alpha text alone cannot order the two symmetric variables — the
+    # fingerprint tie-break must pick the same orientation on both sides.
+    profile = UsageProfile(
+        {
+            "x": UniformDistribution(0.0, 1.0),
+            "y": UniformDistribution(0.0, 2.0),
+            "a": UniformDistribution(0.0, 2.0),
+            "b": UniformDistribution(0.0, 1.0),
+        }
+    )
+    diff = _diff("x + y <= 1", "b + a <= 1", profile=profile)
+    assert len(diff.unchanged) == 1
+    assert not diff.changed and not diff.added and not diff.removed
+
+
+def test_added_and_removed_factors_classify():
+    profile = UsageProfile(
+        {"x": UniformDistribution(-1.0, 1.0), "y": UniformDistribution(0.0, 2.0)}
+    )
+    grown = _diff("x*x <= 0.5", "x*x <= 0.5 && sin(y) <= 0.3", profile=profile)
+    assert len(grown.unchanged) == 1 and len(grown.added) == 1
+    assert grown.added[0].status == ADDED
+    shrunk = _diff("x*x <= 0.5 && sin(y) <= 0.3", "x*x <= 0.5", profile=profile)
+    assert len(shrunk.unchanged) == 1 and len(shrunk.removed) == 1
+    assert shrunk.removed[0].status == REMOVED
+    # Removed factors never contribute a candidate key.
+    assert len(shrunk.candidate_factor_keys) == 1
+    statuses = [delta.status for delta in shrunk.deltas]
+    assert statuses == [UNCHANGED, REMOVED]
+
+
+def test_diff_requires_exactly_one_of_config_or_method():
+    v1 = parse_constraint_set(evolution.EVOLUTION_V1)
+    with pytest.raises(ConfigurationError):
+        diff_constraint_sets(v1, v1, PROFILE)
+    with pytest.raises(ConfigurationError):
+        diff_constraint_sets(v1, v1, PROFILE, config=CONFIG, method="mc")
+
+
+# --------------------------------------------------------------------------- #
+# The planner
+# --------------------------------------------------------------------------- #
+def _run_v1(tmp_path, *, config=CONFIG):
+    store = tmp_path / "store.jsonl"
+    ledger = tmp_path / "ledger.jsonl"
+    with Session(store=str(store), ledger=str(ledger)) as session:
+        report = session.quantify(
+            parse_constraint_set(evolution.EVOLUTION_V1), PROFILE, config=config
+        ).run()
+    return store, ledger, report
+
+
+def test_plan_concentrates_budget_on_the_edit(tmp_path):
+    store_path, _, _ = _run_v1(tmp_path)
+    diff = _diff(evolution.EVOLUTION_V1, evolution.EVOLUTION_V2)
+    with open_store(str(store_path)) as store:
+        plan = plan_reuse(diff, store, CONFIG.samples_per_query)
+    assert plan.total_factors == 5
+    assert plan.reused_factors == 4
+    assert plan.reuse_fraction == pytest.approx(0.8)
+    assert plan.cold_budget == 5 * CONFIG.samples_per_query
+    # The one changed factor owes its full budget; everything else is covered.
+    assert plan.residual_budget == CONFIG.samples_per_query
+    assert plan.samples_saved == 4 * CONFIG.samples_per_query
+    (fresh,) = [factor for factor in plan.factors if not factor.reused]
+    assert fresh.delta.status == CHANGED
+
+
+def test_plan_without_store_is_all_cold():
+    diff = _diff(evolution.EVOLUTION_V1, evolution.EVOLUTION_V2)
+    plan = plan_reuse(diff, None, 100)
+    assert plan.reused_factors == 0
+    assert plan.residual_budget == plan.cold_budget == 500
+
+
+def test_store_coverage_reports_samples_and_omits_absent_keys(tmp_path):
+    store_path, _, _ = _run_v1(tmp_path)
+    diff = _diff(evolution.EVOLUTION_V1, evolution.EVOLUTION_V1)
+    keys = list(diff.candidate_factor_keys)
+    with open_store(str(store_path)) as store:
+        coverage = store.coverage(keys + ["absent-digest"])
+    assert set(coverage) == set(keys)
+    for entry in coverage.values():
+        assert entry.exact or entry.samples >= CONFIG.samples_per_query
+        assert entry.covers(CONFIG.samples_per_query)
+
+
+# --------------------------------------------------------------------------- #
+# Incremental runs through the Query API
+# --------------------------------------------------------------------------- #
+def test_incremental_run_reuses_unchanged_factors(tmp_path):
+    store_path, ledger_path, cold = _run_v1(tmp_path)
+    with Session(store=str(store_path), ledger=str(ledger_path)) as session:
+        query = session.quantify(
+            parse_constraint_set(evolution.EVOLUTION_V2), PROFILE, config=CONFIG
+        ).against_baseline(parse_constraint_set(evolution.EVOLUTION_V1))
+        plan = query.reuse_plan()
+        report = query.run()
+    assert plan.reused_factors == 4
+    # Acceptance criterion: the incremental run draws at most a quarter of
+    # the cold run's samples at the same per-factor budget.
+    assert report.total_samples <= 0.25 * cold.total_samples
+    assert abs(report.mean - evolution.EXACT_V2) < 0.02
+    summaries = [d for d in report.diagnostics if d.code == "REUSE_SUMMARY"]
+    assert len(summaries) == 1
+    evidence = dict(summaries[0].evidence)
+    assert evidence["factors_reused"] == 4
+    assert evidence["factors_changed"] == 1
+    assert evidence["samples_drawn"] == report.total_samples
+    # The ledger entry carries the diagnostic too.
+    from repro.obs.ledger import open_ledger
+
+    with open_ledger(str(ledger_path)) as ledger:
+        entry = ledger.entries()[-1]
+    assert any(d.code == "REUSE_SUMMARY" for d in entry.diagnostics())
+
+
+def test_removed_factor_never_contaminates_the_merged_result(tmp_path):
+    profile = UsageProfile(
+        {
+            "x": UniformDistribution(-1.0, 1.0),
+            "y": UniformDistribution(-1.0, 1.0),
+            "z": UniformDistribution(0.0, 2.0),
+        }
+    )
+    v1 = "x*x + y*y <= 1 && sin(z) <= 0.5"
+    v2 = "x*x + y*y <= 1"
+    store_path = tmp_path / "store.jsonl"
+    with Session(store=str(store_path)) as session:
+        session.quantify(parse_constraint_set(v1), profile, config=CONFIG).run()
+        query = session.quantify(
+            parse_constraint_set(v2), profile, config=CONFIG
+        ).against_baseline(parse_constraint_set(v1))
+        diff = query._baseline_diff(CONFIG)
+        report = query.run()
+    (removed,) = diff.removed
+    # The stale entry is still in the store under the removed factor's digest…
+    with open_store(str(store_path)) as store:
+        assert removed.key in store.coverage([removed.key])
+    # …but the candidate's key set excludes it, and the merged estimate is the
+    # circle factor alone (pi/4), not the contaminated two-factor product.
+    assert removed.key not in diff.candidate_factor_keys
+    assert abs(report.mean - math.pi / 4.0) < 0.02
+    assert report.mean > 0.7  # the v1 product would sit near 0.2
+
+
+def test_all_changed_incremental_run_is_bit_identical_to_cold(tmp_path):
+    store_path, _, _ = _run_v1(tmp_path)
+    all_changed = evolution.edited_version(5)
+    diff = _diff(evolution.EVOLUTION_V1, all_changed)
+    assert len(diff.changed) == 5 and not diff.unchanged
+    with Session() as session:  # no store: the genuinely cold reference
+        cold = session.quantify(
+            parse_constraint_set(all_changed), PROFILE, config=CONFIG
+        ).run()
+    with Session(store=str(store_path)) as session:
+        incremental = (
+            session.quantify(parse_constraint_set(all_changed), PROFILE, config=CONFIG)
+            .against_baseline(parse_constraint_set(evolution.EVOLUTION_V1))
+            .run()
+        )
+    # Store lookups that miss never touch the RNG streams, so the contract is
+    # exact equality, not statistical agreement.
+    assert incremental.mean == cold.mean
+    assert incremental.std == cold.std
+    assert incremental.total_samples == cold.total_samples
+
+
+# --------------------------------------------------------------------------- #
+# The `qcoral ci` commit gate
+# --------------------------------------------------------------------------- #
+def _write_fixture(tmp_path):
+    v1 = tmp_path / "v1.txt"
+    v2 = tmp_path / "v2.txt"
+    v1.write_text(evolution.EVOLUTION_V1 + "\n", encoding="utf-8")
+    v2.write_text(evolution.EVOLUTION_V2 + "\n", encoding="utf-8")
+    return v1, v2
+
+
+def _domain_args():
+    argv = []
+    for spec in evolution.domain_args():
+        argv += ["--domain", spec]
+    return argv
+
+
+def _ci_argv(tmp_path, *extra):
+    return [
+        "ci",
+        *_domain_args(),
+        "--samples",
+        "1500",
+        "--seed",
+        "9",
+        "--store",
+        str(tmp_path / "store.jsonl"),
+        "--ledger",
+        str(tmp_path / "ledger.jsonl"),
+        *extra,
+    ]
+
+
+def test_ci_gate_passes_and_saves_samples(tmp_path, capsys):
+    v1, v2 = _write_fixture(tmp_path)
+    assert (
+        main(
+            [
+                "quantify",
+                "--constraints-file",
+                str(v1),
+                *_domain_args(),
+                "--samples",
+                "1500",
+                "--seed",
+                "9",
+                "--store",
+                str(tmp_path / "store.jsonl"),
+                "--ledger",
+                str(tmp_path / "ledger.jsonl"),
+                "--json",
+            ]
+        )
+        == 0
+    )
+    cold = json.loads(capsys.readouterr().out)
+    # The v1->v2 edit intentionally moves the true probability (~24 sigma at
+    # this precision), so the gate is passed the raised threshold a team uses
+    # to land an acknowledged behaviour change.
+    code = main(
+        _ci_argv(
+            tmp_path,
+            "--constraints-file",
+            str(v2),
+            "--baseline-file",
+            str(v1),
+            "--max-drift-sigmas",
+            "50",
+            "--json",
+        )
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["gate"]["passed"] is True
+    assert payload["gate"]["previous_run"] is not None
+    assert payload["report"]["samples"] <= 0.25 * cold["samples"]
+
+
+def test_ci_first_run_has_no_drift_comparison(tmp_path, capsys):
+    _, v2 = _write_fixture(tmp_path)
+    code = main(_ci_argv(tmp_path, "--constraints-file", str(v2)))
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "n/a (no prior run" in out
+    assert "OK:" in out
+
+
+def test_ci_drift_gate_trips(tmp_path, capsys):
+    v1, _ = _write_fixture(tmp_path)
+    assert main(_ci_argv(tmp_path, "--constraints-file", str(v1))) == 0
+    capsys.readouterr()
+    # A candidate whose sin threshold collapses to -0.9 kills most of the
+    # factor's mass: far outside any plausible sigma band of the v1 estimate.
+    shifted = evolution.EVOLUTION_V1.replace("sin(c) <= 0.5", "sin(c) <= -0.9")
+    code = main(
+        _ci_argv(tmp_path, shifted, "--baseline", evolution.EVOLUTION_V1, "--seed", "10")
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "GATE: estimate drifted" in out
+
+
+def test_ci_floor_gate_trips(tmp_path, capsys):
+    _, v2 = _write_fixture(tmp_path)
+    code = main(_ci_argv(tmp_path, "--constraints-file", str(v2), "--min-probability", "0.9"))
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "GATE: probability" in out
+    assert "below the floor" in out
+
+
+def test_ci_usage_errors_exit_two(tmp_path, capsys):
+    v1, v2 = _write_fixture(tmp_path)
+    domain = _domain_args()
+    # No ledger: the gate has nothing to compare against or record into.
+    assert main(["ci", evolution.EVOLUTION_V1, *domain]) == 2
+    # Missing candidate file.
+    assert main(_ci_argv(tmp_path, "--constraints-file", str(tmp_path / "nope.txt"))) == 2
+    # Malformed gate thresholds.
+    assert main(_ci_argv(tmp_path, "--constraints-file", str(v2), "--max-drift-sigmas", "0")) == 2
+    assert main(_ci_argv(tmp_path, "--constraints-file", str(v2), "--min-probability", "1.5")) == 2
+    # Incremental quantification needs PARTCACHE.
+    assert (
+        main(
+            _ci_argv(
+                tmp_path,
+                "--constraints-file",
+                str(v2),
+                "--baseline-file",
+                str(v1),
+                "--no-partcache",
+            )
+        )
+        == 2
+    )
+    # No candidate constraints at all.
+    assert main(_ci_argv(tmp_path)) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err

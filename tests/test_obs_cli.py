@@ -4,7 +4,9 @@ End-to-end over real artifacts: ``quantify --ledger/--trace`` produces the
 ledger and trace files, then ``obs summary|history|diff|lint-trace`` analyses
 them.  The drift acceptance path is exercised both ways — two identical
 fixed-seed runs agree (exit 0, drift 0), and an injected estimate shift of
-five sigma trips the default three-sigma threshold (exit 1, ``DRIFT``).
+five sigma trips the default three-sigma threshold (exit 1, ``GATE``).
+Usage failures (missing files, wrong file kinds, a ledger too thin to
+compare) exit 2, pinning the exit-code contract shared with ``qcoral ci``.
 """
 
 import json
@@ -76,7 +78,7 @@ def test_obs_diff_flags_injected_drift(ledger_path, capsys):
         ledger.append(shifted)
     assert main(["obs", "diff", str(ledger_path)]) == 1
     out = capsys.readouterr().out
-    assert "DRIFT" in out
+    assert "GATE: estimates differ" in out
     drift_sigmas = 5.0 / (2.0**0.5)
     assert f"{drift_sigmas:.2f} sigma" in out
     # A looser threshold accepts the same pair.
@@ -86,7 +88,9 @@ def test_obs_diff_flags_injected_drift(ledger_path, capsys):
 def test_obs_diff_needs_two_runs(tmp_path, capsys):
     path = tmp_path / "single.jsonl"
     _quantify(tmp_path, ledger=path)
-    assert main(["obs", "diff", str(path)]) == 1
+    # A ledger too thin to compare is a usage error (exit 2), not a tripped
+    # gate (exit 1) — CI must not read "nothing to compare" as a verdict.
+    assert main(["obs", "diff", str(path)]) == 2
     assert "need at least two runs" in capsys.readouterr().err
 
 
@@ -133,9 +137,10 @@ def test_obs_rejects_wrong_file_kinds(tmp_path, capsys):
     ledger = tmp_path / "runs.jsonl"
     trace = tmp_path / "trace.jsonl"
     _quantify(tmp_path, ledger=ledger, trace=trace)
-    assert main(["obs", "lint-trace", str(ledger)]) == 1
+    # Wrong-kind and missing files are usage errors: exit 2 across the board.
+    assert main(["obs", "lint-trace", str(ledger)]) == 2
     assert "run ledger, not a trace" in capsys.readouterr().err
-    assert main(["obs", "diff", str(trace)]) == 1
+    assert main(["obs", "diff", str(trace)]) == 2
     assert "trace file, not a run ledger" in capsys.readouterr().err
-    assert main(["obs", "summary", str(tmp_path / "missing.jsonl")]) == 1
+    assert main(["obs", "summary", str(tmp_path / "missing.jsonl")]) == 2
     assert "no such file" in capsys.readouterr().err
