@@ -19,6 +19,10 @@ a tracked quality metric regressed by more than the tolerance:
   must be bit-identical across every kernel tier and executor backend
   (unconditional, no tolerance); fused-vs-closure speedups gate against the
   baseline with a loose floor since CI timing is noisy.
+* **serving** (``BENCH_serve.json``) — served results must stay bit-identical
+  to in-process runs and repeated requests must draw zero samples (both
+  unconditional); the warm/cold latency ratio gates against a fixed 0.75
+  ceiling.
 
 Families whose fresh file was not produced this run, or whose baseline does
 not exist at ``HEAD`` yet (a newly introduced family), are skipped with a
@@ -68,6 +72,11 @@ KERNEL_SPEEDUP_TOLERANCE = 0.50
 #: (``BENCH_observability.json``): instrumentation costing more than 5% of
 #: the disabled run's wall-clock fails the gate.
 OBSERVABILITY_OVERHEAD_CEILING = 1.05
+
+#: Hard ceiling on the served warm/cold latency ratio
+#: (``BENCH_serve.json``): a repeated request answered from the store must
+#: cost well under a cold sampling run, or the service's economics are gone.
+SERVE_WARM_RATIO_CEILING = 0.75
 
 #: Environment variable that downgrades failures to warnings.
 OVERRIDE_ENV = "QCORAL_BENCH_ALLOW_REGRESSION"
@@ -274,6 +283,31 @@ def compare_observability(family: str, baseline: dict, fresh: dict) -> List[Find
     return findings
 
 
+def compare_serve(family: str, baseline: dict, fresh: dict) -> List[Finding]:
+    """Serving summary: two hard contracts plus an absolute latency ceiling.
+
+    ``bit_identical`` (served == in-process at the same seed) and
+    ``warm_zero_samples`` (a repeated request draws nothing) need no
+    baseline and no tolerance.  The warm/cold latency ratio gates against
+    the fixed :data:`SERVE_WARM_RATIO_CEILING` — the committed baseline
+    documents the trajectory, the ceiling is the promise.  Throughput rows
+    are recorded but not gated: shared-runner scheduling noise dominates.
+    """
+    findings: List[Finding] = []
+    payload = fresh.get("serve", {})
+    if not payload:
+        return findings
+    bit_identical = bool(payload.get("bit_identical"))
+    findings.append(Finding(family, "bit_identical", 1.0, float(bit_identical), not bit_identical))
+    warm_zero = bool(payload.get("warm_zero_samples"))
+    findings.append(Finding(family, "warm_zero_samples", 1.0, float(warm_zero), not warm_zero))
+    ratio = float(payload.get("warm_over_cold_ratio", 0.0))
+    findings.append(
+        Finding(family, "warm_over_cold_ratio", SERVE_WARM_RATIO_CEILING, ratio, ratio > SERVE_WARM_RATIO_CEILING)
+    )
+    return findings
+
+
 #: Benchmark families and the comparator handling each.
 FAMILIES = (
     ("BENCH_adaptive.json", lambda b, f: compare_sigma_ratios("adaptive", b, f, "adaptive_allocation")),
@@ -282,6 +316,7 @@ FAMILIES = (
     ("BENCH_incremental.json", lambda b, f: compare_incremental("incremental", b, f)),
     ("BENCH_kernels.json", lambda b, f: compare_kernels("kernels", b, f)),
     ("BENCH_observability.json", lambda b, f: compare_observability("observability", b, f)),
+    ("BENCH_serve.json", lambda b, f: compare_serve("serve", b, f)),
 )
 
 

@@ -237,6 +237,39 @@ def incremental_requantification() -> None:
     print()
 
 
+def quantification_as_a_service() -> None:
+    """Serve the engine over HTTP and reuse the store across clients."""
+    print("=" * 72)
+    print("9. Quantification as a service (the engine behind `qcoral serve`)")
+    print("=" * 72)
+
+    from repro.serve import ServeClient, serve_in_thread
+
+    # One shared session answers every client; `qcoral serve` runs the same
+    # server as a process with SIGTERM drain.  Port 0 = ephemeral.
+    with serve_in_thread() as handle:
+        client = ServeClient(handle.url)
+        print(f"serving on {handle.url}  (health: {client.healthz()['status']})")
+        cold = client.quantify("x * x + y * y <= 1", {"x": "-1:1", "y": "-1:1"}, seed=7, budget=20_000)
+        print(f"served cold:  P = {cold['mean']:.6f}  samples = {cold['samples']}")
+        # The same request again is answered from the shared store: the
+        # paper's reuse economics mean the repeat draws zero samples.
+        warm = client.quantify("x * x + y * y <= 1", {"x": "-1:1", "y": "-1:1"}, seed=7, budget=20_000)
+        print(f"served warm:  P = {warm['mean']:.6f}  samples = {warm['samples']}")
+        with client.stream(
+            "x * x + y * y <= 1", {"x": "-1:1", "y": "-1:1"}, seed=9, budget=40_000, max_rounds=4, target_std=1e-6
+        ) as rounds:
+            for event in rounds:
+                if event.event == "round":
+                    data = event.data
+                    print(f"SSE round {data['round']}: mean = {data['mean']:.6f} after {data['cumulative']} samples")
+                # Closing the iterator early would cancel sampling server-side.
+        hits = [line for line in client.metrics().splitlines() if line.startswith("store_hits_total")]
+        if hits:
+            print(f"hub metric:   {hits[0]}")
+    print()
+
+
 def main() -> None:
     quantify_a_constraint_set()
     compare_feature_configurations()
@@ -246,6 +279,7 @@ def main() -> None:
     reuse_across_runs()
     diagnostics_and_the_ledger()
     incremental_requantification()
+    quantification_as_a_service()
 
 
 if __name__ == "__main__":

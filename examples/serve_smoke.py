@@ -1,0 +1,124 @@
+"""Smoke-test a running `qcoral serve` instance (the CI serve-smoke client).
+
+Usage::
+
+    qcoral serve --port 8123 --store /tmp/estimates.db --ledger /tmp/runs.jsonl &
+    PYTHONPATH=src python examples/serve_smoke.py http://127.0.0.1:8123
+
+Drives the service through its contract end to end: a cold quantify, the
+zero-sample repeat, a streamed run cancelled by disconnect, and a
+``/metrics`` scrape asserting both layers (engine counters and request
+metrics) are live on the shared hub.
+
+Exit codes: **0** every check passed, **1** a contract check failed,
+**2** usage (no URL, or the server never became healthy).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+CIRCLE = "x*x + y*y <= 1"
+DOMAINS = {"x": "-1:1", "y": "-1:1"}
+CANCEL_BUDGET = 50_000_000
+
+
+def wait_healthy(client, seconds: float = 30.0) -> bool:
+    from repro.serve import ServeClientError
+
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        try:
+            if client.healthz().get("status") == "ok":
+                return True
+        except ServeClientError:
+            pass
+        time.sleep(0.2)
+    return False
+
+
+def metric_value(metrics_text: str, prefix: str):
+    for line in metrics_text.splitlines():
+        if line.startswith(prefix):
+            return float(line.rsplit(" ", 1)[1])
+    return None
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} http://HOST:PORT", file=sys.stderr)
+        return 2
+    from repro.serve import ServeClient
+
+    client = ServeClient(argv[1])
+    if not wait_healthy(client):
+        print(f"error: {client.url} never answered /healthz", file=sys.stderr)
+        return 2
+
+    failures = 0
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        nonlocal failures
+        print(f"{'PASS' if ok else 'FAIL'}  {name}{'  (' + detail + ')' if detail else ''}")
+        if not ok:
+            failures += 1
+
+    cold = client.quantify(CIRCLE, DOMAINS, seed=7, budget=20_000)
+    check(
+        "cold quantify samples the full budget",
+        cold["samples"] == 20_000 and 0.0 <= cold["mean"] <= 1.0,
+        f"mean={cold['mean']:.6f} samples={cold['samples']}",
+    )
+
+    warm = client.quantify(CIRCLE, DOMAINS, seed=7, budget=20_000)
+    check(
+        "repeated request draws zero samples",
+        warm["samples"] == 0 and warm["mean"] == cold["mean"],
+        f"samples={warm['samples']}",
+    )
+
+    # A deliberately huge streamed run, cancelled by dropping the connection
+    # after the second round: the engine must stop well short of the budget.
+    with client.stream(
+        CIRCLE, DOMAINS, seed=9, budget=CANCEL_BUDGET, max_rounds=500, target_std=1e-12, initial_fraction=0.001
+    ) as rounds:
+        seen = 0
+        for event in rounds:
+            if event.event == "round":
+                seen += 1
+                if seen >= 2:
+                    break
+    check("stream produced round events", seen >= 2, f"rounds seen={seen}")
+
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if metric_value(client.metrics(), "serve_in_flight") == 0:
+            break
+        time.sleep(0.1)
+
+    metrics = client.metrics()
+    check(
+        "disconnect cancelled the run",
+        metric_value(metrics, 'serve_early_stops_total{reason="cancelled"}') == 1
+        and metric_value(metrics, "serve_stream_disconnects_total") == 1,
+    )
+    drawn = metric_value(metrics, "qcoral_samples_total")
+    check(
+        "cancelled run stopped well short of its budget",
+        drawn is not None and drawn < CANCEL_BUDGET / 10,
+        f"samples drawn overall={drawn}",
+    )
+    check(
+        "hub exposes engine and request metrics together",
+        "qcoral_rounds_total" in metrics and "serve_requests_total" in metrics,
+    )
+    stats = client.store_stats()["statistics"]
+    check("store saw the warm hit", stats["hits"] >= 1, f"stats={stats}")
+
+    print(f"{'OK' if failures == 0 else 'FAILED'}: {failures} failing check(s)")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -34,7 +34,7 @@ from typing import Mapping, Optional, Union
 from repro.api.query import Query, _ConstraintTarget, _ProgramTarget
 from repro.core.profiles import Distribution, UniformDistribution, UsageProfile, parse_distribution_spec
 from repro.core.qcoral import QCoralConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.exec.executor import EXECUTOR_KINDS, Executor, make_executor
 from repro.lang.ast import ConstraintSet
 from repro.obs import Observability
@@ -59,8 +59,15 @@ def _coerce_profile(profile: Optional[ProfileLike]) -> Optional[UsageProfile]:
             if isinstance(spec, Distribution):
                 distributions[name] = spec
             elif isinstance(spec, str):
-                distributions[name] = parse_distribution_spec(spec)
-            elif isinstance(spec, tuple) and len(spec) == 2:
+                try:
+                    distributions[name] = parse_distribution_spec(spec)
+                except ReproError as error:
+                    # Malformed spec strings (e.g. ``binomial:n:p`` with
+                    # non-numeric parts) must surface as a configuration
+                    # problem naming the variable — a clean 400 for the
+                    # server, never a bare traceback.
+                    raise ConfigurationError(f"cannot interpret profile entry {name}={spec!r}: {error}") from None
+            elif isinstance(spec, (tuple, list)) and len(spec) == 2:
                 try:
                     low, high = float(spec[0]), float(spec[1])
                 except (TypeError, ValueError):

@@ -93,9 +93,14 @@ def _parse_domain(specs: Sequence[str]) -> Dict[str, Distribution]:
     distributions: Dict[str, Distribution] = {}
     for spec in specs:
         if "=" not in spec:
-            raise ReproError(f"invalid domain specification {spec!r}; expected name=SPEC")
+            raise ConfigurationError(f"invalid domain specification {spec!r}; expected name=SPEC")
         name, distribution = spec.split("=", 1)
-        distributions[name.strip()] = parse_distribution_spec(distribution)
+        try:
+            distributions[name.strip()] = parse_distribution_spec(distribution)
+        except ReproError as error:
+            # Name the variable in the message; malformed specs must read as
+            # a configuration problem, never as an internal failure.
+            raise ConfigurationError(f"invalid domain specification {spec!r}: {error}") from None
     return distributions
 
 
@@ -819,6 +824,59 @@ def _command_ci(args: argparse.Namespace) -> int:
     return _gate_exit(violations, "run recorded; the gate passed")
 
 
+# --------------------------------------------------------------------- #
+# `qcoral serve`: the engine as a long-lived HTTP/SSE service
+# --------------------------------------------------------------------- #
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import AdmissionLimits, QuantifyServer
+
+    try:
+        limits = AdmissionLimits(
+            max_concurrent=args.max_concurrent,
+            max_budget=args.max_budget,
+            max_seconds=args.max_seconds,
+            drain_timeout=args.drain_timeout,
+        )
+    except ConfigurationError as error:
+        raise UsageError(str(error)) from error
+    executor = args.executor
+    if args.workers is not None and executor is None:
+        # `--workers N` alone means "a pool of N"; pick the thread backend.
+        executor = "thread"
+    try:
+        server = QuantifyServer(
+            host=args.host,
+            port=args.port,
+            executor=executor,
+            workers=args.workers,
+            store=args.store,
+            store_backend=args.store_backend,
+            ledger=args.ledger,
+            ledger_backend=args.ledger_backend,
+            defaults=QCoralConfig(samples_per_query=args.samples),
+            limits=limits,
+        )
+    except ConfigurationError as error:
+        raise UsageError(str(error)) from error
+
+    def announce(host: str, port: int) -> None:
+        print(f"qcoral serve listening on http://{host}:{port}", file=sys.stderr)
+        print(
+            f"admission: max_concurrent={limits.max_concurrent} "
+            f"max_budget={limits.max_budget} max_seconds={limits.max_seconds}",
+            file=sys.stderr,
+        )
+
+    try:
+        server.run(announce=announce)
+    except KeyboardInterrupt:  # pragma: no cover - platforms without signal handlers
+        pass
+    except OSError as error:
+        raise UsageError(f"cannot bind {args.host}:{args.port}: {error}") from error
+    print("qcoral serve drained cleanly", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (registry choices read live)."""
     parser = argparse.ArgumentParser(
@@ -896,6 +954,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="gate: fail when the estimated probability falls below this floor (default: no floor)",
     )
     ci.set_defaults(handler=_command_ci)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve the engine over HTTP/SSE: one shared session, store, ledger, and metrics hub",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral; default 8080)")
+    serve.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_KINDS),
+        default=None,
+        help="execution backend shared by every served run (default: in-thread sampling)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count of the shared executor pool (implies --executor thread when none is named)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help=(
+            "persistent estimate store shared by every client; repeated "
+            "identical requests are answered with zero samples drawn "
+            "(default: a process-lifetime in-memory store)"
+        ),
+    )
+    serve.add_argument(
+        "--store-backend",
+        choices=list(STORE_BACKENDS),
+        default=None,
+        help="store backend (default: inferred from the path; memory without one)",
+    )
+    serve.add_argument(
+        "--ledger",
+        metavar="PATH",
+        default=None,
+        help="append every served run's provenance record to a run ledger at PATH",
+    )
+    serve.add_argument(
+        "--ledger-backend",
+        choices=list(LEDGER_BACKENDS),
+        default=None,
+        help="ledger backend (default: inferred from the path)",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        metavar="N",
+        help="admission: concurrent engine runs beyond N answer 429 (default 4)",
+    )
+    serve.add_argument(
+        "--max-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission: requests asking for more than N samples answer 413 (default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="admission: per-run wall-clock ceiling, enforced via early stop (default: unlimited)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="graceful-drain bound: how long SIGTERM waits for early-stopped runs to finalise",
+    )
+    serve.add_argument(
+        "--samples",
+        type=int,
+        default=30_000,
+        metavar="N",
+        help="default sampling budget when a request names none (default 30000)",
+    )
+    serve.set_defaults(handler=_command_serve, verbose=0, kernel_tier=None)
 
     obs = subparsers.add_parser("obs", help="analyse run ledgers and trace files across runs")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

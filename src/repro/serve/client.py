@@ -1,0 +1,236 @@
+"""A small stdlib client of the quantification service.
+
+Used by the quickstart, the serve smoke script, and the benchmark — and
+handy interactively::
+
+    from repro.serve import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8080")
+    report = client.quantify("x*x + y*y <= 1", {"x": "-1:1", "y": "-1:1"}, seed=7)
+    print(report["mean"], report["samples"])
+
+    with client.stream("x*x + y*y <= 1", {"x": "-1:1", "y": "-1:1"}) as rounds:
+        for event in rounds:
+            print(event.event, event.data)
+            if event.event == "round" and event.data["cumulative"] > 10_000:
+                break  # closing the stream cancels sampling server-side
+
+Every request opens one connection (the server speaks ``Connection:
+close``), so closing an SSE stream mid-run is exactly the disconnect signal
+the server turns into an engine early stop.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class ServeClientError(ReproError):
+    """A failed service interaction: transport errors and non-200 answers."""
+
+    def __init__(self, message: str, *, status: Optional[int] = None, payload: Any = None) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class ServerEvent:
+    """One Server-Sent Event: its ``event`` name and decoded JSON ``data``."""
+
+    event: str
+    data: Any
+
+
+class SSEStream:
+    """Iterator over a stream's :class:`ServerEvent`\\ s; close() cancels.
+
+    Closing before the stream is exhausted drops the connection, which the
+    server observes as a client disconnect and turns into an engine early
+    stop — the run still finalises and publishes its store deltas.
+    """
+
+    def __init__(self, connection: http.client.HTTPConnection, response: http.client.HTTPResponse) -> None:
+        self._connection = connection
+        self._response = response
+        self._closed = False
+
+    def __iter__(self) -> Iterator[ServerEvent]:
+        return self
+
+    def __next__(self) -> ServerEvent:
+        event: Optional[str] = None
+        data_lines: list = []
+        while True:
+            if self._closed:
+                raise StopIteration
+            try:
+                raw = self._response.readline()
+            except (OSError, http.client.HTTPException):
+                self.close()
+                raise StopIteration from None
+            if not raw:
+                self.close()
+                raise StopIteration
+            line = raw.decode("utf-8").rstrip("\r\n")
+            if line == "":
+                if event is not None or data_lines:
+                    data = "\n".join(data_lines)
+                    try:
+                        decoded = json.loads(data) if data else None
+                    except json.JSONDecodeError as error:
+                        raise ServeClientError(f"stream sent malformed event data: {error}") from None
+                    return ServerEvent(event or "message", decoded)
+                continue
+            if line.startswith("event:"):
+                event = line[len("event:") :].strip()
+            elif line.startswith("data:"):
+                data_lines.append(line[len("data:") :].strip())
+            # Other SSE fields (comments, ids, retry) are ignored.
+
+    def close(self) -> None:
+        """Drop the connection (idempotent); mid-run this cancels sampling."""
+        if not self._closed:
+            self._closed = True
+            # Close the response's file object too: it shares the socket's
+            # refcount, so the FIN the server reads as "client went away"
+            # is only sent once both handles are closed.
+            try:
+                self._response.close()
+            except OSError:  # pragma: no cover - close never matters here
+                pass
+            try:
+                self._connection.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "SSEStream":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _build_payload(constraints: str, domains: Mapping[str, Any], options: Mapping[str, Any]) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"constraints": constraints, "domains": dict(domains)}
+    payload.update(options)
+    return payload
+
+
+class ServeClient:
+    """Talks to one ``qcoral serve`` instance at ``base_url``."""
+
+    def __init__(self, base_url: str, *, timeout: float = 120.0) -> None:
+        parsed = urllib.parse.urlsplit(base_url if "//" in base_url else "//" + base_url)
+        if parsed.scheme not in ("", "http"):
+            raise ServeClientError(f"only http:// service URLs are supported, got {base_url!r}")
+        if parsed.hostname is None:
+            raise ServeClientError(f"cannot extract a host from {base_url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port if parsed.port is not None else 80
+        self.timeout = timeout
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> Dict[str, Any]:
+        return self._json_request("GET", "/healthz")
+
+    def store_stats(self) -> Dict[str, Any]:
+        return self._json_request("GET", "/v1/store/stats")
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text of ``GET /metrics``."""
+        status, _content_type, raw = self._raw_request("GET", "/metrics")
+        if status != 200:
+            raise ServeClientError(f"GET /metrics answered {status}", status=status)
+        return raw.decode("utf-8")
+
+    def quantify(self, constraints: str, domains: Mapping[str, Any], **options: Any) -> Dict[str, Any]:
+        """``POST /v1/quantify``; returns the versioned ``Report.to_dict()``.
+
+        ``options`` are the request's remaining wire keys (``seed``,
+        ``budget``, ``method``, ``target_std``, ``features``, ...).
+        """
+        payload = _build_payload(constraints, domains, options)
+        return self._json_request("POST", "/v1/quantify", payload)
+
+    def stream(self, constraints: str, domains: Mapping[str, Any], **options: Any) -> SSEStream:
+        """Open ``POST /v1/quantify/stream`` and return the event iterator."""
+        payload = _build_payload(constraints, domains, options)
+        connection = self._connect()
+        try:
+            body = json.dumps(payload).encode("utf-8")
+            connection.request(
+                "POST", "/v1/quantify/stream", body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+        except (OSError, http.client.HTTPException) as error:
+            connection.close()
+            raise ServeClientError(f"cannot open stream on {self.url}: {error}") from error
+        if response.status != 200:
+            raw = response.read()
+            connection.close()
+            raise ServeClientError(
+                self._error_message("POST /v1/quantify/stream", response.status, raw),
+                status=response.status,
+                payload=_decode_json(raw),
+            )
+        return SSEStream(connection, response)
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _raw_request(
+        self, method: str, path: str, payload: Optional[Any] = None
+    ) -> Tuple[int, str, bytes]:
+        connection = self._connect()
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            return response.status, response.getheader("Content-Type", ""), raw
+        except (OSError, http.client.HTTPException) as error:
+            raise ServeClientError(f"cannot reach {self.url}: {error}") from error
+        finally:
+            connection.close()
+
+    def _json_request(self, method: str, path: str, payload: Optional[Any] = None) -> Dict[str, Any]:
+        status, _content_type, raw = self._raw_request(method, path, payload)
+        decoded = _decode_json(raw)
+        if status != 200:
+            raise ServeClientError(
+                self._error_message(f"{method} {path}", status, raw), status=status, payload=decoded
+            )
+        if not isinstance(decoded, dict):
+            raise ServeClientError(f"{method} {path} answered non-object JSON: {raw[:200]!r}", status=status)
+        return decoded
+
+    @staticmethod
+    def _error_message(what: str, status: int, raw: bytes) -> str:
+        decoded = _decode_json(raw)
+        if isinstance(decoded, dict) and isinstance(decoded.get("error"), dict):
+            return f"{what} answered {status}: {decoded['error'].get('message', '')}"
+        return f"{what} answered {status}: {raw[:200]!r}"
+
+
+def _decode_json(raw: bytes) -> Any:
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None

@@ -1,0 +1,158 @@
+"""Minimal HTTP/1.1 plumbing of the service — stdlib asyncio streams only.
+
+The server deliberately avoids any web framework (the repo's no-new-deps
+rule): a quantification service speaks exactly two response shapes — a JSON
+document and a Server-Sent-Events stream — and both fit in a page of
+protocol code.  Every response closes its connection (``Connection:
+close``), which keeps the state machine trivial and makes client disconnects
+observable as EOF on the read side, which is precisely the signal the SSE
+endpoint turns into an engine early stop.
+
+:func:`read_request` parses one request (request line, headers,
+``Content-Length`` body) with hard limits on line length, header count, and
+body size, so a misbehaving client cannot balloon server memory.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.serve.wire import WireError
+
+#: Reason phrases of the statuses the service emits.
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Parser limits: a request line / header line, the header count, the body.
+MAX_LINE_BYTES = 16 * 1024
+MAX_HEADER_COUNT = 64
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class HttpProtocolError(WireError):
+    """A request the HTTP layer could not parse (maps to 400)."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split path/query, headers, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, List[str]] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json_body(self) -> Optional[Any]:
+        """The decoded JSON body, or None when the request carried none."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WireError(f"request body is not valid JSON: {error}") from None
+
+
+async def read_request(reader) -> Optional[HttpRequest]:
+    """Parse one HTTP/1.1 request from ``reader`` (None on immediate EOF)."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, ValueError, OSError):
+        return None
+    if not request_line:
+        return None
+    if len(request_line) > MAX_LINE_BYTES:
+        raise HttpProtocolError("request line too long")
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpProtocolError(f"malformed request line {request_line!r}")
+    method, target = parts[0].upper(), parts[1]
+    parsed = urllib.parse.urlsplit(target)
+    query = urllib.parse.parse_qs(parsed.query, keep_blank_values=True)
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if len(line) > MAX_LINE_BYTES:
+            raise HttpProtocolError("header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise HttpProtocolError("too many headers")
+        text = line.decode("latin-1").strip()
+        if ":" not in text:
+            raise HttpProtocolError(f"malformed header line {text!r}")
+        name, value = text.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpProtocolError(f"invalid Content-Length {headers['content-length']!r}") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpProtocolError(f"Content-Length {length} outside [0, {MAX_BODY_BYTES}]")
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HttpProtocolError("chunked request bodies are not supported; send Content-Length")
+
+    return HttpRequest(
+        method=method,
+        path=urllib.parse.unquote(parsed.path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, content_type: str, extra: Optional[Mapping[str, str]] = None) -> bytes:
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if extra:
+        lines.extend(f"{name}: {value}" for name, value in extra.items())
+    return ("\r\n".join(lines) + "\r\n").encode("latin-1")
+
+
+async def write_json(writer, status: int, payload: Any, *, headers: Optional[Mapping[str, str]] = None) -> None:
+    """Send one complete JSON response and flush it."""
+    body = (json.dumps(payload, sort_keys=False) + "\n").encode("utf-8")
+    writer.write(_head(status, "application/json; charset=utf-8", headers))
+    writer.write(f"Content-Length: {len(body)}\r\n\r\n".encode("latin-1"))
+    writer.write(body)
+    await writer.drain()
+
+
+async def write_text(writer, status: int, body: str, *, content_type: str = "text/plain; charset=utf-8") -> None:
+    """Send one complete plain-text response (``/metrics``) and flush it."""
+    encoded = body.encode("utf-8")
+    writer.write(_head(status, content_type))
+    writer.write(f"Content-Length: {len(encoded)}\r\n\r\n".encode("latin-1"))
+    writer.write(encoded)
+    await writer.drain()
+
+
+async def start_sse(writer) -> None:
+    """Send the response head of a Server-Sent-Events stream.
+
+    No ``Content-Length``: the stream ends when the connection closes, which
+    the ``Connection: close`` policy makes well-defined for the client.
+    """
+    writer.write(_head(200, "text/event-stream", {"Cache-Control": "no-cache", "X-Accel-Buffering": "no"}))
+    writer.write(b"\r\n")
+    await writer.drain()

@@ -1,0 +1,313 @@
+"""Wire format of the quantification service.
+
+One module owns the translation between HTTP payloads and the Session
+facade, so the server's contract is checkable in isolation (no sockets):
+
+* :func:`parse_quantify_payload` — validate a JSON request body (or the
+  equivalent URL query parameters) into a :class:`QuantifySpec`.  Every
+  malformed input raises :class:`WireError` with an HTTP status, never a
+  bare traceback; unknown keys are rejected rather than silently ignored,
+  because a typo'd ``"sed"`` that defaulted the seed would break the
+  service's bit-identity guarantee without anyone noticing.
+* :func:`build_query` — compile a spec into a fluent
+  :class:`~repro.api.query.Query` on the shared session.  The spec carries
+  only :class:`~repro.core.qcoral.QCoralConfig` overrides, so a served
+  request resolves to exactly the config an in-process caller would build —
+  the foundation of the "served == in-process at the same seed" contract.
+* :func:`error_body` / :func:`sse_event` — the response renderings.
+
+The response body of a successful ``POST /v1/quantify`` is precisely
+:meth:`Report.to_dict() <repro.api.report.Report.to_dict>` — the versioned
+schema every other surface (``--json``, the ledger) already speaks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.qcoral import QCoralConfig, RoundReport
+from repro.errors import ConfigurationError, DomainError, ParseError, ReproError, UsageError
+
+#: Top-level request keys accepted by the quantify endpoints.  ``budget``
+#: and ``samples`` are aliases (the CLI says ``--samples``, the ROADMAP says
+#: budget); ``max_seconds`` is a client-requested wall-clock ceiling, capped
+#: by the server's own limit.
+REQUEST_KEYS = frozenset(
+    {
+        "constraints",
+        "domains",
+        "method",
+        "budget",
+        "samples",
+        "target_std",
+        "max_rounds",
+        "initial_fraction",
+        "allocation",
+        "seed",
+        "features",
+        "mass_split_boxes",
+        "mass_split_adaptive",
+        "max_seconds",
+    }
+)
+
+#: ``features`` sub-keys (the paper's STRAT / PARTCACHE toggles).
+FEATURE_KEYS = frozenset({"stratified", "partition_and_cache"})
+
+
+class WireError(ReproError):
+    """A malformed or inadmissible request, carrying its HTTP status."""
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+def error_status(error: ReproError) -> int:
+    """The HTTP status an engine/validation error maps to.
+
+    Configuration, domain, parse, and usage failures are the client's fault
+    (400); anything else is a server-side 500.  :class:`WireError` carries
+    its own status.
+    """
+    if isinstance(error, WireError):
+        return error.status
+    if isinstance(error, (ConfigurationError, DomainError, ParseError, UsageError)):
+        return 400
+    return 500
+
+
+def error_body(status: int, message: str, **extra: Any) -> Dict[str, Any]:
+    """The JSON error envelope every non-2xx response carries."""
+    payload: Dict[str, Any] = {"status": status, "message": message}
+    payload.update(extra)
+    return {"error": payload}
+
+
+@dataclass(frozen=True)
+class QuantifySpec:
+    """A validated quantify request: constraints + domains + config overrides."""
+
+    constraints: str
+    domains: Mapping[str, object]
+    settings: Tuple[Tuple[str, Any], ...]
+    budget: int
+    max_seconds: Optional[float] = None
+
+    def settings_dict(self) -> Dict[str, Any]:
+        return dict(self.settings)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise WireError(message)
+
+
+def _as_int(value: Any, key: str) -> int:
+    # bool is an int subclass; a JSON ``true`` budget is a client bug.
+    _require(isinstance(value, int) and not isinstance(value, bool), f"{key!r} must be an integer")
+    return value
+
+
+def _as_float(value: Any, key: str) -> float:
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool), f"{key!r} must be a number")
+    return float(value)
+
+
+def parse_quantify_payload(payload: Any, *, defaults: Optional[QCoralConfig] = None) -> QuantifySpec:
+    """Validate a decoded request body into a :class:`QuantifySpec`.
+
+    ``defaults`` supplies the budget when the request names none (the
+    session's base config); every violation raises :class:`WireError` (400).
+    """
+    _require(isinstance(payload, Mapping), "request body must be a JSON object")
+    unknown = sorted(set(payload) - REQUEST_KEYS)
+    _require(not unknown, f"unknown request keys {unknown}; accepted keys: {sorted(REQUEST_KEYS)}")
+
+    constraints = payload.get("constraints")
+    _require(isinstance(constraints, str) and constraints.strip() != "", "'constraints' must be a non-empty string")
+
+    domains = payload.get("domains")
+    _require(
+        isinstance(domains, Mapping) and len(domains) > 0,
+        "'domains' must be a non-empty object of variable specs",
+    )
+    for name, spec in domains.items():
+        _require(isinstance(name, str) and name != "", "domain variable names must be non-empty strings")
+        if isinstance(spec, str):
+            continue
+        if isinstance(spec, (list, tuple)) and len(spec) == 2:
+            continue
+        raise WireError(
+            f"domain {name!r} must be a distribution spec string (e.g. \"-1:1\", "
+            f"\"binomial:20:0.5\") or a two-element [lo, hi] array, not {spec!r}"
+        )
+
+    if "budget" in payload and "samples" in payload:
+        raise WireError("'budget' and 'samples' are aliases; send only one")
+
+    settings: Dict[str, Any] = {}
+    if "method" in payload:
+        method = payload["method"]
+        _require(isinstance(method, str) and method != "", "'method' must be a non-empty string")
+        settings["method"] = method
+    raw_budget = payload.get("budget", payload.get("samples"))
+    if raw_budget is not None:
+        budget = _as_int(raw_budget, "budget")
+        _require(budget >= 1, "'budget' must be >= 1")
+        settings["samples_per_query"] = budget
+    else:
+        budget = (defaults if defaults is not None else QCoralConfig()).samples_per_query
+    if "target_std" in payload and payload["target_std"] is not None:
+        target_std = _as_float(payload["target_std"], "target_std")
+        _require(target_std > 0.0, "'target_std' must be > 0")
+        settings["target_std"] = target_std
+    if "max_rounds" in payload:
+        max_rounds = _as_int(payload["max_rounds"], "max_rounds")
+        _require(max_rounds >= 1, "'max_rounds' must be >= 1")
+        settings["max_rounds"] = max_rounds
+    if "initial_fraction" in payload:
+        fraction = _as_float(payload["initial_fraction"], "initial_fraction")
+        _require(0.0 < fraction <= 1.0, "'initial_fraction' must lie in (0, 1]")
+        settings["initial_fraction"] = fraction
+    if "allocation" in payload:
+        allocation = payload["allocation"]
+        _require(isinstance(allocation, str) and allocation != "", "'allocation' must be a non-empty string")
+        settings["allocation"] = allocation
+    if "seed" in payload and payload["seed"] is not None:
+        settings["seed"] = _as_int(payload["seed"], "seed")
+    if "mass_split_boxes" in payload:
+        settings["mass_split_boxes"] = _as_int(payload["mass_split_boxes"], "mass_split_boxes")
+    if "mass_split_adaptive" in payload:
+        settings["mass_split_adaptive"] = _as_int(payload["mass_split_adaptive"], "mass_split_adaptive")
+    if "features" in payload:
+        features = payload["features"]
+        _require(isinstance(features, Mapping), "'features' must be an object")
+        unknown_features = sorted(set(features) - FEATURE_KEYS)
+        _require(not unknown_features, f"unknown feature keys {unknown_features}; accepted: {sorted(FEATURE_KEYS)}")
+        for key, value in features.items():
+            _require(isinstance(value, bool), f"feature {key!r} must be a boolean")
+            settings["stratified" if key == "stratified" else "partition_and_cache"] = value
+
+    max_seconds: Optional[float] = None
+    if "max_seconds" in payload and payload["max_seconds"] is not None:
+        max_seconds = _as_float(payload["max_seconds"], "max_seconds")
+        _require(max_seconds > 0.0, "'max_seconds' must be > 0")
+
+    return QuantifySpec(
+        constraints=constraints,
+        domains=dict(domains),
+        settings=tuple(sorted(settings.items())),
+        budget=budget,
+        max_seconds=max_seconds,
+    )
+
+
+def payload_from_query_params(params: Mapping[str, List[str]]) -> Dict[str, Any]:
+    """Translate URL query parameters into a request payload.
+
+    Mirrors the CLI vocabulary so curl examples stay short::
+
+        /v1/quantify/stream?constraints=x*x+%2B+y*y+<=+1&domain=x=-1:1&domain=y=-1:1&seed=7
+
+    ``domain`` repeats (``name=SPEC``); numeric parameters are parsed here so
+    the strict type checks of :func:`parse_quantify_payload` still apply.
+    """
+
+    def single(key: str) -> Optional[str]:
+        values = params.get(key)
+        if not values:
+            return None
+        if len(values) > 1:
+            raise WireError(f"query parameter {key!r} given more than once")
+        return values[0]
+
+    payload: Dict[str, Any] = {}
+    constraints = single("constraints")
+    if constraints is not None:
+        payload["constraints"] = constraints
+    domains: Dict[str, Any] = {}
+    for spec in params.get("domain", []):
+        if "=" not in spec:
+            raise WireError(f"invalid domain parameter {spec!r}; expected name=SPEC")
+        name, distribution = spec.split("=", 1)
+        domains[name.strip()] = distribution
+    if domains:
+        payload["domains"] = domains
+    for key, convert in (
+        ("seed", int),
+        ("budget", int),
+        ("samples", int),
+        ("max_rounds", int),
+        ("mass_split_boxes", int),
+        ("mass_split_adaptive", int),
+        ("target_std", float),
+        ("initial_fraction", float),
+        ("max_seconds", float),
+    ):
+        raw = single(key)
+        if raw is not None:
+            try:
+                payload[key] = convert(raw)
+            except ValueError:
+                raise WireError(f"query parameter {key}={raw!r} is not a valid {convert.__name__}") from None
+    for key in ("method", "allocation"):
+        raw = single(key)
+        if raw is not None:
+            payload[key] = raw
+    known = {
+        "constraints",
+        "domain",
+        "seed",
+        "budget",
+        "samples",
+        "max_rounds",
+        "mass_split_boxes",
+        "mass_split_adaptive",
+        "target_std",
+        "initial_fraction",
+        "max_seconds",
+        "method",
+        "allocation",
+    }
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise WireError(f"unknown query parameters {unknown}")
+    return payload
+
+
+def build_query(session: Any, spec: QuantifySpec):
+    """Compile a spec into a fluent Query on ``session``.
+
+    Engine-side validation failures (unknown method names, malformed
+    distribution specs, constraint syntax errors) surface as
+    :class:`ReproError` subclasses that :func:`error_status` maps to 400 —
+    never as a 500 with a traceback.  Compiling the config here (not in the
+    worker thread) makes those 400s synchronous with admission.
+    """
+    query = session.quantify(spec.constraints, dict(spec.domains))
+    settings = spec.settings_dict()
+    if settings:
+        query = query.configure(**settings)
+    # Trigger QCoralConfig validation eagerly: replace() re-runs the
+    # dataclass checks, so a bad method/allocation is rejected up front.
+    query.compile()
+    return query
+
+
+def round_payload(report: RoundReport) -> Dict[str, Any]:
+    """The SSE ``round`` event body (matches Report.to_dict()'s rounds rows)."""
+    return {
+        "round": report.round_index,
+        "allocated": report.allocated,
+        "cumulative": report.total_samples,
+        "mean": report.mean,
+        "std": report.std,
+    }
+
+
+def sse_event(event: str, data: Any) -> bytes:
+    """One Server-Sent-Events frame (``event:`` + single-line ``data:``)."""
+    return f"event: {event}\ndata: {json.dumps(data, sort_keys=False)}\n\n".encode("utf-8")

@@ -316,6 +316,38 @@ class TestLifecycles:
         assert len({id(store) for _, store in seen}) == 1
         session.close()
 
+    def test_lazy_ledger_is_created_once_under_concurrency(self):
+        # Regression: concurrent first-touch of session.ledger (e.g. two
+        # server requests finishing at once) must share one ledger instance,
+        # exactly like the executor/store lazy creation above.
+        import threading
+
+        session = Session(ledger_backend="memory")
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def grab():
+            barrier.wait()
+            seen.append(session.ledger)
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(ledger) for ledger in seen}) == 1
+        session.close()
+
+    def test_profile_accepts_list_bounds_and_wraps_bad_specs(self):
+        # JSON-shaped profiles arrive with lists, not tuples.
+        with Session() as session:
+            report = session.quantify(TRIANGLE, {"x": [-1, 1], "y": [-1.0, 1.0]}).with_budget(500).seed(1).run()
+            assert 0.0 <= report.mean <= 1.0
+            # Malformed spec strings surface as ConfigurationError naming the
+            # variable — a clean 400 for the server, never a traceback.
+            with pytest.raises(ConfigurationError, match="binomial:n:p"):
+                session.quantify(TRIANGLE, {"x": "binomial:n:p", "y": (-1, 1)})
+
     def test_session_validation(self):
         with pytest.raises(ConfigurationError):
             Session(workers=2)  # workers without a kind name
